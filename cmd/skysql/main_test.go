@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skysql"
+)
+
+func TestLoadTableSpecParsing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.csv")
+	if err := os.WriteFile(path, []byte("id,price\n1,50\n2,60\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sess := skysql.NewSession()
+	if err := loadTable(sess, "hotels="+path+":int,float"); err != nil {
+		t.Fatalf("loadTable: %v", err)
+	}
+	rows, err := sess.Query("SELECT id FROM hotels WHERE price > 55")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].AsInt() != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestLoadTableSpecErrors(t *testing.T) {
+	sess := skysql.NewSession()
+	bad := []string{
+		"noequals",
+		"name=file-without-colon",
+		"name=f.csv:int,unknownkind",
+		"name=/no/such/file.csv:int",
+	}
+	for _, spec := range bad {
+		if err := loadTable(sess, spec); err == nil {
+			t.Errorf("loadTable(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestExecuteAndExplain(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.csv")
+	os.WriteFile(path, []byte("id,price,rating\n1,50,7\n2,60,9\n3,40,5\n"), 0o644)
+	sess := skysql.NewSession()
+	if err := loadTable(sess, "hotels="+path+":int,int,int"); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT * FROM hotels SKYLINE OF price MIN, rating MAX"
+	if err := execute(sess, q, false); err != nil {
+		t.Errorf("execute: %v", err)
+	}
+	if err := execute(sess, q, true); err != nil {
+		t.Errorf("explain: %v", err)
+	}
+	if err := execute(sess, "garbage", false); err == nil {
+		t.Error("bad query must error")
+	}
+}

@@ -1,0 +1,96 @@
+package skysql_test
+
+import (
+	"fmt"
+
+	"skysql"
+)
+
+func exampleSession() *skysql.Session {
+	sess := skysql.NewSession(skysql.WithExecutors(2))
+	sess.MustCreateTable("hotels", skysql.NewSchema(
+		skysql.Field{Name: "name", Type: skysql.KindString},
+		skysql.Field{Name: "price", Type: skysql.KindInt},
+		skysql.Field{Name: "rating", Type: skysql.KindInt},
+	), []skysql.Row{
+		{skysql.Str("Seaside"), skysql.Int(120), skysql.Int(8)},
+		{skysql.Str("Palace"), skysql.Int(290), skysql.Int(9)},
+		{skysql.Str("Budget"), skysql.Int(55), skysql.Int(6)},
+		{skysql.Str("Downtown"), skysql.Int(130), skysql.Int(7)},
+	})
+	return sess
+}
+
+// The paper's headline feature: the SKYLINE OF clause in plain SQL.
+func ExampleSession_Query() {
+	sess := exampleSession()
+	rows, err := sess.Query(
+		"SELECT name FROM hotels SKYLINE OF price MIN, rating MAX ORDER BY name")
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r[0])
+	}
+	// Output:
+	// Budget
+	// Palace
+	// Seaside
+}
+
+// The DataFrame API mirrors the paper's §5.8 smin()/smax() functions and
+// bypasses the parser.
+func ExampleDataFrame_Skyline() {
+	sess := exampleSession()
+	rows, err := sess.Table("hotels").
+		Skyline([]skysql.SkylineDim{skysql.Smin("price"), skysql.Smax("rating")}).
+		Select("name").
+		OrderBy("name").
+		Collect()
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r[0])
+	}
+	// Output:
+	// Budget
+	// Palace
+	// Seaside
+}
+
+// RewriteSkyline generates the plain-SQL reference formulation the paper
+// benchmarks against (Listing 4).
+func ExampleSession_RewriteSkyline() {
+	sess := exampleSession()
+	ref, err := sess.RewriteSkyline(
+		"SELECT name FROM hotels SKYLINE OF price MIN, rating MAX", false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ref)
+	// Output:
+	// SELECT name FROM hotels AS o WHERE NOT EXISTS(SELECT * FROM hotels AS i WHERE i.price <= o.price AND i.rating >= o.rating AND (i.price < o.price OR i.rating > o.rating))
+}
+
+// Aggregates, HAVING and ORDER BY compose with the skyline clause; the
+// analyzer resolves aggregate references the way the paper's Listings 6/7
+// describe.
+func ExampleSession_Query_aggregates() {
+	sess := exampleSession()
+	rows, err := sess.Query(`
+		SELECT rating, count(*) AS n, min(price) AS cheapest
+		FROM hotels GROUP BY rating
+		SKYLINE OF min(price) MIN, rating MAX
+		ORDER BY rating`)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("rating=%s n=%s cheapest=%s\n", r[0], r[1], r[2])
+	}
+	// Output:
+	// rating=6 n=1 cheapest=55
+	// rating=8 n=1 cheapest=120
+	// rating=9 n=1 cheapest=290
+}

@@ -1,0 +1,48 @@
+// Streaming: incremental skyline maintenance over an unbounded feed — the
+// groundwork for the paper's §7 "integration into structured streaming"
+// future work. Sensor readings arrive one at a time; the current Pareto
+// front (low latency, high throughput) is available after every event,
+// with admission/eviction notifications.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"skysql/internal/skyline"
+	"skysql/internal/stream"
+	"skysql/internal/types"
+)
+
+func main() {
+	// Maintain the skyline of (latency MIN, throughput MAX).
+	inc := stream.NewIncremental([]skyline.Dir{skyline.Min, skyline.Max}, false)
+	rng := rand.New(rand.NewSource(7))
+
+	fmt.Println("streaming servers: latency [ms] MIN, throughput [req/s] MAX")
+	admitted, evictions := 0, 0
+	for event := 1; event <= 10000; event++ {
+		latency := 5 + rng.ExpFloat64()*40
+		throughput := 100 + rng.Float64()*900
+		dims := types.Row{types.Float(latency), types.Float(throughput)}
+		row := types.Row{types.Int(int64(event)), dims[0], dims[1]}
+		ev, err := inc.Add(dims, row)
+		if err != nil {
+			panic(err)
+		}
+		if ev.Admitted {
+			admitted++
+			evictions += len(ev.Evicted)
+		}
+		if event%2000 == 0 {
+			fmt.Printf("after %5d events: skyline size %2d (admitted %d, evicted %d, %d dominance tests)\n",
+				event, inc.Size(), admitted, evictions, inc.Stats().DominanceTests())
+		}
+	}
+
+	fmt.Println("\ncurrent Pareto-optimal servers:")
+	for _, p := range inc.Skyline() {
+		fmt.Printf("  server %4s  latency %7.2f ms  throughput %7.1f req/s\n",
+			p.Row[0], p.Row[1].AsFloat(), p.Row[2].AsFloat())
+	}
+}

@@ -1,0 +1,581 @@
+// Package analyzer resolves an unresolved logical plan against the catalog,
+// mirroring the Spark SQL analyzer extensions described in the paper:
+//
+//   - relation resolution and USING-join desugaring;
+//   - star expansion;
+//   - propagation of aggregate expressions referenced by HAVING filters,
+//     ORDER BY and — per the paper's Listing 7 — skyline dimensions into the
+//     Aggregate node below, including the Sort/Filter/Aggregate interaction
+//     of Appendix B;
+//   - resolution of skyline/sort references to columns missing from the
+//     projection, adding them to the child projection and re-trimming with
+//     an outer Project (the paper's Listing 6);
+//   - binding of every column reference to a row ordinal.
+package analyzer
+
+import (
+	"fmt"
+
+	"skysql/internal/catalog"
+	"skysql/internal/expr"
+	"skysql/internal/plan"
+	"skysql/internal/types"
+)
+
+// Analyzer resolves logical plans.
+type Analyzer struct {
+	cat *catalog.Catalog
+}
+
+// New creates an analyzer over the catalog.
+func New(cat *catalog.Catalog) *Analyzer { return &Analyzer{cat: cat} }
+
+// Analyze resolves the plan or reports why it cannot be resolved.
+func (a *Analyzer) Analyze(n plan.Node) (plan.Node, error) {
+	n, err := a.resolveRelations(n)
+	if err != nil {
+		return nil, err
+	}
+	n, err = desugarUsing(n)
+	if err != nil {
+		return nil, err
+	}
+	n, err = expandStars(n)
+	if err != nil {
+		return nil, err
+	}
+	n, err = propagateAggregates(n)
+	if err != nil {
+		return nil, err
+	}
+	n, err = resolveMissingReferences(n)
+	if err != nil {
+		return nil, err
+	}
+	n, err = bindReferences(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkAnalysis(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// resolveRelations replaces UnresolvedRelation leaves with catalog scans.
+func (a *Analyzer) resolveRelations(n plan.Node) (plan.Node, error) {
+	var firstErr error
+	out := plan.TransformUp(n, func(n plan.Node) plan.Node {
+		u, ok := n.(*plan.UnresolvedRelation)
+		if !ok {
+			return n
+		}
+		t, err := a.cat.Lookup(u.Name)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return n
+		}
+		return plan.NewScan(t, u.Binding())
+	})
+	return out, firstErr
+}
+
+// desugarUsing rewrites JOIN ... USING (c1, ...) into an ON condition plus
+// a projection that emits each USING column once (coalescing both sides for
+// outer joins), then the remaining left and right columns.
+func desugarUsing(n plan.Node) (plan.Node, error) {
+	var firstErr error
+	out := plan.TransformUp(n, func(n plan.Node) plan.Node {
+		j, ok := n.(*plan.Join)
+		if !ok || len(j.Using) == 0 {
+			return n
+		}
+		ls, rs := j.Left.Schema(), j.Right.Schema()
+		using := make(map[string]bool, len(j.Using))
+		var conds []expr.Expr
+		var merged []expr.Expr
+		for _, c := range j.Using {
+			using[c] = true
+			li := ls.IndexOf(c)
+			ri := rs.IndexOf(c)
+			if li < 0 || ri < 0 {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("analyzer: USING column %q not present on both sides", c)
+				}
+				return n
+			}
+			lcol := expr.NewColumn(ls.Fields[li].Qualifier, c)
+			rcol := expr.NewColumn(rs.Fields[ri].Qualifier, c)
+			conds = append(conds, expr.NewBinary(expr.OpEq, lcol, rcol))
+			switch j.Type {
+			case plan.LeftOuterJoin, plan.InnerJoin, plan.CrossJoin:
+				merged = append(merged, expr.NewQualifiedAlias(lcol, ls.Fields[li].Qualifier, c))
+			case plan.RightOuterJoin:
+				merged = append(merged, expr.NewQualifiedAlias(rcol, rs.Fields[ri].Qualifier, c))
+			default:
+				merged = append(merged, expr.NewAlias(expr.NewFunc("ifnull", lcol, rcol), c))
+			}
+		}
+		cond := expr.JoinConjuncts(conds)
+		inner := plan.NewJoin(j.Type, j.Left, j.Right, cond)
+		items := merged
+		for _, f := range ls.Fields {
+			if !using[f.Name] {
+				items = append(items, expr.NewColumn(f.Qualifier, f.Name))
+			}
+		}
+		for _, f := range rs.Fields {
+			if !using[f.Name] {
+				items = append(items, expr.NewColumn(f.Qualifier, f.Name))
+			}
+		}
+		return plan.NewProject(items, inner)
+	})
+	return out, firstErr
+}
+
+// expandStars replaces * and t.* projection items with explicit column
+// references against the child schema.
+func expandStars(n plan.Node) (plan.Node, error) {
+	var firstErr error
+	expand := func(items []expr.Expr, child plan.Node) []expr.Expr {
+		var out []expr.Expr
+		for _, it := range items {
+			star, ok := it.(*expr.Star)
+			if !ok {
+				out = append(out, it)
+				continue
+			}
+			matched := false
+			for _, f := range child.Schema().Fields {
+				if star.Qualifier == "" || f.Qualifier == star.Qualifier {
+					out = append(out, expr.NewColumn(f.Qualifier, f.Name))
+					matched = true
+				}
+			}
+			if !matched && firstErr == nil {
+				firstErr = fmt.Errorf("analyzer: %s matched no columns", star)
+			}
+		}
+		return out
+	}
+	out := plan.TransformUp(n, func(n plan.Node) plan.Node {
+		switch p := n.(type) {
+		case *plan.Project:
+			if hasStar(p.Exprs) {
+				return plan.NewProject(expand(p.Exprs, p.Child), p.Child)
+			}
+		case *plan.Aggregate:
+			if hasStar(p.Outputs) {
+				return plan.NewAggregate(p.Groups, expand(p.Outputs, p.Child), p.Child)
+			}
+		}
+		return n
+	})
+	return out, firstErr
+}
+
+func hasStar(items []expr.Expr) bool {
+	for _, it := range items {
+		if _, ok := it.(*expr.Star); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isChainNode reports whether the node passes its child's schema through
+// unchanged, so that added aggregate/missing columns flow through it.
+func isChainNode(n plan.Node) bool {
+	switch n.(type) {
+	case *plan.Filter, *plan.Sort, *plan.SkylineOperator, *plan.Distinct, *plan.Limit:
+		return true
+	}
+	return false
+}
+
+// propagateAggregates handles Filter (HAVING), Sort, and SkylineOperator
+// nodes sitting in a chain above an Aggregate whose expressions contain
+// aggregate function calls: each such call is matched to an existing output
+// of the Aggregate or appended as a fresh hidden output, the call site is
+// rewritten to a column reference, and — when outputs were added — the
+// whole chain is wrapped in a Project restoring the original output
+// (paper Listing 7; Appendix B covers the Sort-over-Filter case).
+func propagateAggregates(n plan.Node) (plan.Node, error) {
+	// Chains are handled top-down from their topmost node so that a single
+	// trimming Project covers every chain member; the recursion below only
+	// descends into non-chain children (and into chain bottoms).
+	if !isChainNode(n) {
+		children := n.Children()
+		newChildren := make([]plan.Node, len(children))
+		for i, c := range children {
+			nc, err := propagateAggregates(c)
+			if err != nil {
+				return nil, err
+			}
+			newChildren[i] = nc
+		}
+		if len(children) > 0 {
+			n = n.WithChildren(newChildren)
+		}
+		return n, nil
+	}
+	// Find the chain: n .. down through chain nodes .. bottom.
+	var chain []plan.Node
+	cur := n
+	for isChainNode(cur) {
+		chain = append(chain, cur)
+		cur = cur.Children()[0]
+	}
+	agg, ok := cur.(*plan.Aggregate)
+	if !ok {
+		// Not an aggregate chain: recurse into the bottom and rebuild the
+		// chain unchanged.
+		bottom, err := propagateAggregates(cur)
+		if err != nil {
+			return nil, err
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			bottom = chain[i].WithChildren([]plan.Node{bottom})
+		}
+		return bottom, nil
+	}
+	aggChild, err := propagateAggregates(agg.Child)
+	if err != nil {
+		return nil, err
+	}
+	agg = plan.NewAggregate(agg.Groups, agg.Outputs, aggChild)
+	// Does any chain node actually reference an aggregate function?
+	needs := false
+	for _, c := range chain {
+		for _, e := range nodeExprs(c) {
+			if expr.ContainsAggregate(e) {
+				needs = true
+			}
+		}
+	}
+	if !needs {
+		rebuilt := plan.Node(agg)
+		for i := len(chain) - 1; i >= 0; i-- {
+			rebuilt = chain[i].WithChildren([]plan.Node{rebuilt})
+		}
+		return rebuilt, nil
+	}
+
+	outputs := append([]expr.Expr(nil), agg.Outputs...)
+	origLen := len(outputs)
+	origNames := make([]string, origLen)
+	for i, o := range outputs {
+		origNames[i] = expr.OutputName(o)
+	}
+	// resolveAgg rewrites one expression, replacing aggregate calls with
+	// references to (possibly newly added) aggregate outputs.
+	resolveAgg := func(e expr.Expr) expr.Expr {
+		return expr.Transform(e, func(sub expr.Expr) expr.Expr {
+			ag, ok := sub.(*expr.Aggregate)
+			if !ok {
+				return sub
+			}
+			key := ag.String()
+			for _, o := range outputs {
+				if unalias(o).String() == key {
+					return expr.NewColumn("", expr.OutputName(o))
+				}
+			}
+			name := fmt.Sprintf("__agg%d", len(outputs))
+			outputs = append(outputs, expr.NewAlias(ag, name))
+			return expr.NewColumn("", name)
+		})
+	}
+
+	// Rebuild the chain bottom-up with rewritten expressions.
+	newAgg := plan.NewAggregate(agg.Groups, nil, agg.Child) // outputs set below
+	rebuilt := plan.Node(newAgg)
+	for i := len(chain) - 1; i >= 0; i-- {
+		switch c := chain[i].(type) {
+		case *plan.Filter:
+			rebuilt = plan.NewFilter(resolveAgg(c.Cond), rebuilt)
+		case *plan.Sort:
+			orders := make([]plan.SortOrder, len(c.Orders))
+			for k, o := range c.Orders {
+				orders[k] = plan.SortOrder{E: resolveAgg(o.E), Desc: o.Desc}
+			}
+			rebuilt = plan.NewSort(orders, rebuilt)
+		case *plan.SkylineOperator:
+			dims := make([]*expr.SkylineDimension, len(c.Dims))
+			for k, d := range c.Dims {
+				dims[k] = expr.NewSkylineDimension(resolveAgg(d.Child), d.Dir)
+			}
+			rebuilt = plan.NewSkylineOperator(c.Distinct, c.Complete, dims, rebuilt)
+		case *plan.Distinct:
+			rebuilt = plan.NewDistinct(rebuilt)
+		case *plan.Limit:
+			rebuilt = plan.NewLimit(c.N, rebuilt)
+		default:
+			return nil, fmt.Errorf("analyzer: unexpected chain node %T", c)
+		}
+	}
+	newAgg.Outputs = outputs
+	if len(outputs) == origLen {
+		return rebuilt, nil
+	}
+	// Hidden aggregate outputs were added: re-trim to the original schema
+	// with an outer projection, as in the paper's Listing 6/7.
+	trim := make([]expr.Expr, origLen)
+	for i, name := range origNames {
+		trim[i] = expr.NewColumn("", name)
+	}
+	return plan.NewProject(trim, rebuilt), nil
+}
+
+// unalias strips a top-level alias.
+func unalias(e expr.Expr) expr.Expr {
+	if a, ok := e.(*expr.Alias); ok {
+		return a.Child
+	}
+	return e
+}
+
+func nodeExprs(n plan.Node) []expr.Expr {
+	switch c := n.(type) {
+	case *plan.Filter:
+		return []expr.Expr{c.Cond}
+	case *plan.Sort:
+		out := make([]expr.Expr, len(c.Orders))
+		for i, o := range c.Orders {
+			out[i] = o.E
+		}
+		return out
+	case *plan.SkylineOperator:
+		out := make([]expr.Expr, len(c.Dims))
+		for i, d := range c.Dims {
+			out[i] = d
+		}
+		return out
+	}
+	return nil
+}
+
+// resolveMissingReferences implements the paper's Listing 6: a skyline (or
+// sort) above a Project may reference columns that are not part of the
+// projection but exist in the projection's input. Those columns are
+// appended to the projection under hidden names, the chain expressions are
+// rewritten to the hidden names, and an outer Project restores the original
+// output.
+func resolveMissingReferences(n plan.Node) (plan.Node, error) {
+	if !isChainNode(n) {
+		children := n.Children()
+		newChildren := make([]plan.Node, len(children))
+		for i, c := range children {
+			nc, err := resolveMissingReferences(c)
+			if err != nil {
+				return nil, err
+			}
+			newChildren[i] = nc
+		}
+		if len(children) > 0 {
+			n = n.WithChildren(newChildren)
+		}
+		return n, nil
+	}
+	// Locate the Project at the bottom of the chain.
+	var chain []plan.Node
+	cur := n
+	for isChainNode(cur) {
+		chain = append(chain, cur)
+		cur = cur.Children()[0]
+	}
+	proj, ok := cur.(*plan.Project)
+	if !ok {
+		bottom, err := resolveMissingReferences(cur)
+		if err != nil {
+			return nil, err
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			bottom = chain[i].WithChildren([]plan.Node{bottom})
+		}
+		return bottom, nil
+	}
+	projChild, err := resolveMissingReferences(proj.Child)
+	if err != nil {
+		return nil, err
+	}
+	proj = plan.NewProject(proj.Exprs, projChild)
+	projSchema := proj.Schema()
+	inputSchema := proj.Child.Schema()
+
+	added := map[string]string{} // qualified source name -> hidden output name
+	items := append([]expr.Expr(nil), proj.Exprs...)
+	origLen := len(items)
+
+	rewrite := func(e expr.Expr) expr.Expr {
+		return expr.Transform(e, func(sub expr.Expr) expr.Expr {
+			col, ok := sub.(*expr.Column)
+			if !ok {
+				return sub
+			}
+			if _, err := projSchema.Resolve(col.Qualifier, col.Name); err == nil {
+				return sub // already available
+			}
+			if _, err := inputSchema.Resolve(col.Qualifier, col.Name); err != nil {
+				return sub // not available below either; later binding reports it
+			}
+			key := col.String()
+			name, ok := added[key]
+			if !ok {
+				name = fmt.Sprintf("__missing%d", len(items))
+				added[key] = name
+				items = append(items, expr.NewAlias(expr.NewColumn(col.Qualifier, col.Name), name))
+			}
+			return expr.NewColumn("", name)
+		})
+	}
+
+	rebuilt := plan.Node(nil)
+	newProj := plan.NewProject(nil, proj.Child) // items assigned below
+	rebuilt = newProj
+	for i := len(chain) - 1; i >= 0; i-- {
+		switch c := chain[i].(type) {
+		case *plan.Filter:
+			rebuilt = plan.NewFilter(rewrite(c.Cond), rebuilt)
+		case *plan.Sort:
+			orders := make([]plan.SortOrder, len(c.Orders))
+			for k, o := range c.Orders {
+				orders[k] = plan.SortOrder{E: rewrite(o.E), Desc: o.Desc}
+			}
+			rebuilt = plan.NewSort(orders, rebuilt)
+		case *plan.SkylineOperator:
+			dims := make([]*expr.SkylineDimension, len(c.Dims))
+			for k, d := range c.Dims {
+				dims[k] = expr.NewSkylineDimension(rewrite(d.Child), d.Dir)
+			}
+			rebuilt = plan.NewSkylineOperator(c.Distinct, c.Complete, dims, rebuilt)
+		case *plan.Distinct:
+			rebuilt = plan.NewDistinct(rebuilt)
+		case *plan.Limit:
+			rebuilt = plan.NewLimit(c.N, rebuilt)
+		default:
+			return nil, fmt.Errorf("analyzer: unexpected chain node %T", c)
+		}
+	}
+	newProj.Exprs = items
+	if len(items) == origLen {
+		return rebuilt, nil // nothing was missing; chain rebuilt verbatim
+	}
+	trim := make([]expr.Expr, origLen)
+	for i := 0; i < origLen; i++ {
+		trim[i] = expr.NewColumn("", expr.OutputName(proj.Exprs[i]))
+	}
+	return plan.NewProject(trim, rebuilt), nil
+}
+
+// bindReferences binds every column reference to a row ordinal, bottom-up.
+func bindReferences(n plan.Node) (plan.Node, error) {
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	out := plan.TransformUp(n, func(n plan.Node) plan.Node {
+		switch p := n.(type) {
+		case *plan.Project:
+			exprs, err := bindAll(p.Exprs, p.Child.Schema())
+			record(err)
+			return plan.NewProject(exprs, p.Child)
+		case *plan.Filter:
+			cond, err := bindExpr(p.Cond, p.Child.Schema())
+			record(err)
+			return plan.NewFilter(cond, p.Child)
+		case *plan.Join:
+			if p.Cond == nil {
+				return n
+			}
+			combined := p.Left.Schema().Concat(p.Right.Schema())
+			cond, err := bindExpr(p.Cond, combined)
+			record(err)
+			j := plan.NewJoin(p.Type, p.Left, p.Right, cond)
+			return j
+		case *plan.Aggregate:
+			groups, err := bindAll(p.Groups, p.Child.Schema())
+			record(err)
+			outputs, err := bindAll(p.Outputs, p.Child.Schema())
+			record(err)
+			return plan.NewAggregate(groups, outputs, p.Child)
+		case *plan.Sort:
+			orders := make([]plan.SortOrder, len(p.Orders))
+			for i, o := range p.Orders {
+				e, err := bindExpr(o.E, p.Child.Schema())
+				record(err)
+				orders[i] = plan.SortOrder{E: e, Desc: o.Desc}
+			}
+			return plan.NewSort(orders, p.Child)
+		case *plan.SkylineOperator:
+			dims := make([]*expr.SkylineDimension, len(p.Dims))
+			for i, d := range p.Dims {
+				e, err := bindExpr(d.Child, p.Child.Schema())
+				record(err)
+				dims[i] = expr.NewSkylineDimension(e, d.Dir)
+			}
+			return plan.NewSkylineOperator(p.Distinct, p.Complete, dims, p.Child)
+		}
+		return n
+	})
+	return out, firstErr
+}
+
+func bindAll(es []expr.Expr, s *types.Schema) ([]expr.Expr, error) {
+	out := make([]expr.Expr, len(es))
+	for i, e := range es {
+		b, err := bindExpr(e, s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+func bindExpr(e expr.Expr, s *types.Schema) (expr.Expr, error) {
+	var firstErr error
+	out := expr.Transform(e, func(sub expr.Expr) expr.Expr {
+		col, ok := sub.(*expr.Column)
+		if !ok {
+			return sub
+		}
+		idx, err := s.Resolve(col.Qualifier, col.Name)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("analyzer: %w", err)
+			}
+			return sub
+		}
+		f := s.Fields[idx]
+		b := expr.NewBoundRef(idx, f.Name, f.Type, f.Nullable)
+		b.Qualifier = f.Qualifier
+		return b
+	})
+	return out, firstErr
+}
+
+// checkAnalysis verifies the plan is fully resolved.
+func checkAnalysis(n plan.Node) error {
+	var err error
+	plan.Walk(n, func(n plan.Node) {
+		if err != nil {
+			return
+		}
+		if !n.Resolved() {
+			err = fmt.Errorf("analyzer: unresolved operator: %s", n)
+		}
+		for _, e := range nodeExprs(n) {
+			resolved := e
+			if !resolved.Resolved() {
+				err = fmt.Errorf("analyzer: unresolved expression %s in %s", e, n)
+			}
+		}
+	})
+	return err
+}

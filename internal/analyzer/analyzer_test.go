@@ -1,0 +1,246 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"skysql/internal/catalog"
+	"skysql/internal/plan"
+	"skysql/internal/sql"
+	"skysql/internal/types"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	hotels, err := catalog.NewTable("hotels", types.NewSchema(
+		types.Field{Name: "id", Type: types.KindInt},
+		types.Field{Name: "price", Type: types.KindFloat},
+		types.Field{Name: "rating", Type: types.KindInt, Nullable: true},
+		types.Field{Name: "city", Type: types.KindString},
+	), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Register(hotels)
+	cities, err := catalog.NewTable("cities", types.NewSchema(
+		types.Field{Name: "city", Type: types.KindString},
+		types.Field{Name: "country", Type: types.KindString},
+	), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Register(cities)
+	return cat
+}
+
+func analyze(t *testing.T, q string) (plan.Node, error) {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := plan.Build(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(testCatalog(t)).Analyze(n)
+}
+
+func mustAnalyze(t *testing.T, q string) plan.Node {
+	t.Helper()
+	n, err := analyze(t, q)
+	if err != nil {
+		t.Fatalf("Analyze(%q): %v", q, err)
+	}
+	if !plan.TreeResolved(n) {
+		t.Fatalf("plan not fully resolved:\n%s", plan.Format(n))
+	}
+	return n
+}
+
+func TestResolveSimple(t *testing.T) {
+	n := mustAnalyze(t, "SELECT price, rating FROM hotels WHERE price < 100")
+	s := n.Schema()
+	if s.Len() != 2 || s.Fields[0].Name != "price" || s.Fields[0].Type != types.KindFloat {
+		t.Errorf("schema = %s", s)
+	}
+	if !s.Fields[1].Nullable || s.Fields[0].Nullable {
+		t.Error("nullability not propagated")
+	}
+}
+
+func TestResolveUnknownTableAndColumn(t *testing.T) {
+	if _, err := analyze(t, "SELECT x FROM nosuch"); err == nil {
+		t.Error("unknown table must error")
+	}
+	if _, err := analyze(t, "SELECT nope FROM hotels"); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, err := analyze(t, "SELECT h.price FROM hotels"); err == nil {
+		t.Error("wrong qualifier must error")
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	n := mustAnalyze(t, "SELECT * FROM hotels")
+	if n.Schema().Len() != 4 {
+		t.Errorf("* expanded to %d columns", n.Schema().Len())
+	}
+	n = mustAnalyze(t, "SELECT h.* FROM hotels h JOIN cities c ON h.city = c.city")
+	if n.Schema().Len() != 4 {
+		t.Errorf("h.* expanded to %d columns, want 4", n.Schema().Len())
+	}
+}
+
+func TestStarNoMatchErrors(t *testing.T) {
+	if _, err := analyze(t, "SELECT z.* FROM hotels h"); err == nil {
+		t.Error("star with unknown qualifier must error")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	if _, err := analyze(t, "SELECT city FROM hotels h JOIN cities c ON h.city = c.city"); err == nil {
+		t.Error("ambiguous unqualified column must error")
+	}
+}
+
+func TestUsingJoinDesugar(t *testing.T) {
+	n := mustAnalyze(t, "SELECT * FROM hotels JOIN cities USING (city)")
+	// USING merges the join column: hotels(4) + cities(2) - 1 = 5 columns.
+	if n.Schema().Len() != 5 {
+		t.Errorf("USING join schema = %s", n.Schema())
+	}
+	out := plan.Format(n)
+	if !strings.Contains(out, "Join Inner ON") {
+		t.Errorf("USING not desugared to ON:\n%s", out)
+	}
+}
+
+func TestUsingJoinMissingColumn(t *testing.T) {
+	if _, err := analyze(t, "SELECT * FROM hotels JOIN cities USING (rating)"); err == nil {
+		t.Error("USING column absent on one side must error")
+	}
+}
+
+func TestQualifierSurvivesUsing(t *testing.T) {
+	mustAnalyze(t, "SELECT h.city FROM hotels h JOIN cities c USING (city)")
+}
+
+func TestSkylineMissingReference(t *testing.T) {
+	// Listing 6: skyline dim not in the projection. The analyzer must add
+	// a hidden column and re-trim.
+	n := mustAnalyze(t, "SELECT id FROM hotels SKYLINE OF price MIN, rating MAX")
+	if n.Schema().Len() != 1 || n.Schema().Fields[0].Name != "id" {
+		t.Fatalf("output schema = %s, want (id)", n.Schema())
+	}
+	out := plan.Format(n)
+	if !strings.Contains(out, "__missing") {
+		t.Errorf("expected hidden projection columns:\n%s", out)
+	}
+	// The trimming Project must sit above the Skyline.
+	if _, ok := n.(*plan.Project); !ok {
+		t.Errorf("root = %T, want trimming Project", n)
+	}
+}
+
+func TestSortMissingReference(t *testing.T) {
+	n := mustAnalyze(t, "SELECT id FROM hotels ORDER BY price")
+	if n.Schema().Len() != 1 {
+		t.Fatalf("schema = %s", n.Schema())
+	}
+}
+
+func TestSortAndSkylineShareChain(t *testing.T) {
+	// Sort above Skyline, both referencing non-projected columns: a single
+	// chain rewrite must cover both.
+	n := mustAnalyze(t, "SELECT id FROM hotels SKYLINE OF price MIN, rating MAX ORDER BY price DESC")
+	if n.Schema().Len() != 1 {
+		t.Fatalf("schema = %s", n.Schema())
+	}
+}
+
+func TestAggregatePropagationIntoHaving(t *testing.T) {
+	// HAVING references an aggregate absent from the projection
+	// (Listing 7 / Appendix B shape).
+	n := mustAnalyze(t, "SELECT city FROM hotels GROUP BY city HAVING count(*) > 1")
+	if n.Schema().Len() != 1 || n.Schema().Fields[0].Name != "city" {
+		t.Fatalf("schema = %s", n.Schema())
+	}
+	out := plan.Format(n)
+	if !strings.Contains(out, "__agg") {
+		t.Errorf("expected hidden aggregate output:\n%s", out)
+	}
+}
+
+func TestAggregatePropagationIntoSkyline(t *testing.T) {
+	n := mustAnalyze(t, `SELECT city FROM hotels GROUP BY city
+		SKYLINE OF count(*) MAX, min(price) MIN`)
+	if n.Schema().Len() != 1 {
+		t.Fatalf("schema = %s", n.Schema())
+	}
+	out := plan.Format(n)
+	if strings.Count(out, "__agg") < 2 {
+		t.Errorf("expected two hidden aggregates:\n%s", out)
+	}
+}
+
+func TestAggregateReuseExistingOutput(t *testing.T) {
+	// count(*) is already projected: HAVING must reuse it, adding nothing.
+	n := mustAnalyze(t, "SELECT city, count(*) AS n FROM hotels GROUP BY city HAVING count(*) > 1")
+	out := plan.Format(n)
+	if strings.Contains(out, "__agg") {
+		t.Errorf("existing aggregate output not reused:\n%s", out)
+	}
+	if n.Schema().Len() != 2 {
+		t.Errorf("schema = %s", n.Schema())
+	}
+}
+
+func TestAppendixBSortFilterAggregate(t *testing.T) {
+	// ORDER BY over an aggregate with an intervening HAVING filter: the
+	// case Spark resolves incorrectly per the paper's Appendix B.
+	n := mustAnalyze(t, `SELECT city FROM hotels GROUP BY city
+		HAVING count(*) > 1 ORDER BY min(price) DESC`)
+	if n.Schema().Len() != 1 {
+		t.Fatalf("schema = %s, want trimmed (city)", n.Schema())
+	}
+}
+
+func TestSkylineOverAggregateAndSortCombined(t *testing.T) {
+	n := mustAnalyze(t, `SELECT city, count(*) AS n FROM hotels GROUP BY city
+		HAVING count(*) > 0 SKYLINE OF count(*) MAX, min(price) MIN ORDER BY max(rating)`)
+	if n.Schema().Len() != 2 {
+		t.Fatalf("schema = %s", n.Schema())
+	}
+}
+
+func TestDerivedTableQualification(t *testing.T) {
+	n := mustAnalyze(t, "SELECT sub.p FROM (SELECT price AS p FROM hotels) AS sub WHERE sub.p > 10")
+	if n.Schema().Fields[0].Name != "p" {
+		t.Errorf("schema = %s", n.Schema())
+	}
+}
+
+func TestBoundRefOrdinalCorrectness(t *testing.T) {
+	n := mustAnalyze(t, "SELECT rating, price FROM hotels")
+	proj := n.(*plan.Project)
+	out := proj.Exprs[0].String() + "|" + proj.Exprs[1].String()
+	if !strings.Contains(out, "rating#2") || !strings.Contains(out, "price#1") {
+		t.Errorf("ordinals wrong: %s", out)
+	}
+}
+
+func TestJoinConditionBinding(t *testing.T) {
+	n := mustAnalyze(t, "SELECT h.id FROM hotels h JOIN cities c ON h.city = c.city")
+	var joinCond string
+	plan.Walk(n, func(nd plan.Node) {
+		if j, ok := nd.(*plan.Join); ok && j.Cond != nil {
+			joinCond = j.Cond.String()
+		}
+	})
+	// hotels has 4 columns; cities.city is the 5th (#4) in the combined row.
+	if !strings.Contains(joinCond, "city#3") || !strings.Contains(joinCond, "city#4") {
+		t.Errorf("join condition binding = %q", joinCond)
+	}
+}

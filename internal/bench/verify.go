@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"skysql/internal/catalog"
+	"skysql/internal/core"
+	"skysql/internal/datagen"
+)
+
+// Verify runs the paper's §5.9 correctness procedure over representative
+// workloads: for every dataset variant and dimension count it executes the
+// integrated skyline operator and the generated plain-SQL reference
+// rewriting and checks that the results coincide. It returns an error on
+// the first mismatch.
+func Verify(cfg Config, w io.Writer) error {
+	n := cfg.scaled(2000)
+	type caseDef struct {
+		name     string
+		complete bool
+	}
+	for _, ds := range []string{"airbnb", "store_sales"} {
+		for _, c := range []caseDef{{"complete", true}, {"incomplete", false}} {
+			cat := catalog.New()
+			gen := datagen.Config{Rows: n, Seed: cfg.Seed, Complete: c.complete, NullFraction: 0.12}
+			var table string
+			var dims []datagen.Dim
+			switch ds {
+			case "airbnb":
+				t := datagen.Airbnb(gen)
+				cat.Register(t)
+				table, dims = t.Name, datagen.AirbnbDims()
+			case "store_sales":
+				t := datagen.StoreSales(gen)
+				cat.Register(t)
+				table, dims = t.Name, datagen.StoreSalesDims()
+			}
+			engine := core.NewEngine(cat)
+			for d := 1; d <= len(dims); d++ {
+				q := datagen.SkylineQuery(table, dims[:d], false, c.complete)
+				if err := engine.VerifyAgainstReference(q, 4); err != nil {
+					return fmt.Errorf("verify %s/%s dims=%d: %w", ds, c.name, d, err)
+				}
+				fmt.Fprintf(w, "verified %s/%s dims=%d (%d rows): integrated == reference\n",
+					ds, c.name, d, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package catalog provides the table catalog the analyzer resolves
+// relations against, plus in-memory and CSV-backed table storage. It plays
+// the role of Spark SQL's Catalog / Hive metastore in the paper's Figure 2.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"skysql/internal/types"
+)
+
+// Table is a named relation with a schema and materialized rows.
+type Table struct {
+	Name   string
+	Schema *types.Schema
+	Rows   []types.Row
+}
+
+// NewTable creates a table, validating that each row matches the schema
+// width.
+func NewTable(name string, schema *types.Schema, rows []types.Row) (*Table, error) {
+	for i, r := range rows {
+		if len(r) != schema.Len() {
+			return nil, fmt.Errorf("catalog: row %d of table %q has %d values, schema has %d columns",
+				i, name, len(r), schema.Len())
+		}
+	}
+	return &Table{Name: strings.ToLower(name), Schema: schema, Rows: rows}, nil
+}
+
+// Catalog maps table names to tables. It is safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New creates an empty catalog.
+func New() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// Register adds or replaces a table.
+func (c *Catalog) Register(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[strings.ToLower(t.Name)] = t
+}
+
+// Lookup finds a table by name.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q not found", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table; it is a no-op when absent.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, strings.ToLower(name))
+}
+
+// Names returns the registered table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InferNullability recomputes each column's Nullable flag of the table's
+// schema from the actual data. This mirrors the paper's observation that
+// Spark "cannot always detect the nullability of a column": callers may
+// either trust declared metadata, call this to derive it, or override at
+// query level with the COMPLETE keyword.
+func (t *Table) InferNullability() {
+	for i := range t.Schema.Fields {
+		t.Schema.Fields[i].Nullable = false
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if v.IsNull() {
+				t.Schema.Fields[i].Nullable = true
+			}
+		}
+	}
+}

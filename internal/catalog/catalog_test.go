@@ -1,0 +1,142 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"skysql/internal/types"
+)
+
+func hotelSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "id", Type: types.KindInt},
+		types.Field{Name: "price", Type: types.KindFloat},
+		types.Field{Name: "rating", Type: types.KindInt},
+	)
+}
+
+func TestNewTableValidatesWidth(t *testing.T) {
+	_, err := NewTable("h", hotelSchema(), []types.Row{{types.Int(1)}})
+	if err == nil {
+		t.Fatal("short row must be rejected")
+	}
+	tab, err := NewTable("H", hotelSchema(), []types.Row{
+		{types.Int(1), types.Float(50), types.Int(7)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name != "h" {
+		t.Error("table names must be lower-cased")
+	}
+}
+
+func TestCatalogRegisterLookupDrop(t *testing.T) {
+	c := New()
+	tab, _ := NewTable("hotels", hotelSchema(), nil)
+	c.Register(tab)
+	got, err := c.Lookup("HOTELS")
+	if err != nil || got != tab {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	if _, err := c.Lookup("missing"); err == nil {
+		t.Error("missing table must error")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "hotels" {
+		t.Errorf("Names = %v", names)
+	}
+	c.Drop("hotels")
+	if _, err := c.Lookup("hotels"); err == nil {
+		t.Error("dropped table must be gone")
+	}
+	c.Drop("hotels") // idempotent
+}
+
+func TestInferNullability(t *testing.T) {
+	tab, _ := NewTable("h", hotelSchema(), []types.Row{
+		{types.Int(1), types.Null, types.Int(7)},
+		{types.Int(2), types.Float(60), types.Int(8)},
+	})
+	tab.InferNullability()
+	want := []bool{false, true, false}
+	for i, f := range tab.Schema.Fields {
+		if f.Nullable != want[i] {
+			t.Errorf("column %s nullable = %v, want %v", f.Name, f.Nullable, want[i])
+		}
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	src := "id,price,rating\n1,50.5,7\n2,,9\n3,NULL,8\n"
+	tab, err := ReadCSV("hotels", strings.NewReader(src),
+		[]types.Kind{types.KindInt, types.KindFloat, types.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !tab.Rows[1][1].IsNull() || !tab.Rows[2][1].IsNull() {
+		t.Error("empty and NULL cells must parse as NULL")
+	}
+	if !tab.Schema.Fields[1].Nullable {
+		t.Error("nullable flag must be inferred during load")
+	}
+	if tab.Schema.Fields[0].Nullable {
+		t.Error("id must not be nullable")
+	}
+	if tab.Rows[0][1].AsFloat() != 50.5 {
+		t.Error("float cell parsed wrong")
+	}
+}
+
+func TestReadCSVIntegerValuedFloats(t *testing.T) {
+	src := "n\n3.0\n"
+	tab, err := ReadCSV("t", strings.NewReader(src), []types.Kind{types.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][0].AsInt() != 3 {
+		t.Error("3.0 must load as BIGINT 3")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader(""), nil); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a,b\n1,2\n"), []types.Kind{types.KindInt}); err == nil {
+		t.Error("kind/width mismatch must error")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a\nxyz\n"), []types.Kind{types.KindInt}); err == nil {
+		t.Error("bad integer must error")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a\nxyz\n"), []types.Kind{types.KindBool}); err == nil {
+		t.Error("bad boolean must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab, _ := NewTable("h", hotelSchema(), []types.Row{
+		{types.Int(1), types.Float(50), types.Null},
+		{types.Int(2), types.Null, types.Int(9)},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("h", &buf, []types.Kind{types.KindInt, types.KindFloat, types.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 2 {
+		t.Fatalf("round trip rows = %d", len(back.Rows))
+	}
+	if !back.Rows[0][2].IsNull() || !back.Rows[1][1].IsNull() {
+		t.Error("NULLs must survive the round trip")
+	}
+	if back.Rows[1][2].AsInt() != 9 {
+		t.Error("values must survive the round trip")
+	}
+}

@@ -1,0 +1,409 @@
+// Package cluster is the execution substrate standing in for the Spark
+// cluster of the paper's evaluation (§6.1): a pool of executors
+// (goroutines) processing partitioned datasets, exchange (shuffle)
+// primitives with the distributions the skyline operators need
+// (Unspecified, AllTuples, NullBitmap, Hash), and metrics — wall-clock is
+// measured by callers; this package tracks machine-independent counters
+// (rows shuffled, peak materialized bytes) plus the executor-count model.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skysql/internal/skyline"
+	"skysql/internal/types"
+)
+
+// Dataset is a partitioned bag of rows, the engine's RDD stand-in.
+type Dataset struct {
+	Parts [][]types.Row
+}
+
+// NewDataset creates a dataset from partitions.
+func NewDataset(parts ...[]types.Row) *Dataset { return &Dataset{Parts: parts} }
+
+// NumRows returns the total row count across partitions.
+func (d *Dataset) NumRows() int {
+	n := 0
+	for _, p := range d.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Gather concatenates all partitions into one slice (AllTuples semantics).
+func (d *Dataset) Gather() []types.Row {
+	out := make([]types.Row, 0, d.NumRows())
+	for _, p := range d.Parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// MemSize estimates the materialized size of the dataset in bytes.
+func (d *Dataset) MemSize() int64 {
+	var n int64
+	for _, p := range d.Parts {
+		for _, r := range p {
+			n += r.MemSize()
+		}
+	}
+	return n
+}
+
+// Metrics accumulates execution counters. Safe for concurrent use.
+type Metrics struct {
+	rowsShuffled atomic.Int64
+	curBytes     atomic.Int64
+	peakBytes    atomic.Int64
+
+	// Sky aggregates dominance-test counts across all skyline operators in
+	// the query.
+	Sky skyline.Stats
+}
+
+// AddShuffled records rows moved through an exchange.
+func (m *Metrics) AddShuffled(n int64) {
+	if m != nil {
+		m.rowsShuffled.Add(n)
+	}
+}
+
+// RowsShuffled returns the number of rows moved through exchanges.
+func (m *Metrics) RowsShuffled() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.rowsShuffled.Load()
+}
+
+// Alloc charges n bytes of materialized data and updates the peak.
+func (m *Metrics) Alloc(n int64) {
+	if m == nil {
+		return
+	}
+	cur := m.curBytes.Add(n)
+	for {
+		peak := m.peakBytes.Load()
+		if cur <= peak || m.peakBytes.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// Free releases n bytes of materialized data.
+func (m *Metrics) Free(n int64) {
+	if m != nil {
+		m.curBytes.Add(-n)
+	}
+}
+
+// PeakBytes returns the highest concurrently-materialized byte count seen.
+func (m *Metrics) PeakBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.peakBytes.Load()
+}
+
+// ErrCanceled is returned by operators when the context was canceled.
+var ErrCanceled = fmt.Errorf("cluster: query canceled")
+
+// Context carries the execution configuration of one query run.
+type Context struct {
+	// Executors is the parallelism budget, the paper's per-run executor
+	// count parameter (§6.4).
+	Executors int
+	// Metrics receives counters; may be nil.
+	Metrics *Metrics
+
+	// Simulate switches MapPartitions into discrete-event mode: tasks run
+	// one at a time, each is timed, and the stage contributes its makespan
+	// under Executors workers (plus TaskOverhead per task) to the
+	// simulated clock instead of its serial wall time. This models the
+	// paper's cluster faithfully on machines whose real core count is
+	// smaller than the executor count under test.
+	Simulate bool
+	// TaskOverhead is the modeled per-task launch cost in simulation mode
+	// (Spark pays several milliseconds per task; the harness uses 1ms).
+	TaskOverhead time.Duration
+
+	taskRealNanos atomic.Int64 // serial time actually spent inside tasks
+	taskSimNanos  atomic.Int64 // simulated makespan of those stages
+	canceled      atomic.Bool
+}
+
+// SimAdjustment returns the delta to add to a real elapsed measurement to
+// obtain the simulated duration: simulated stage makespans minus the serial
+// time the tasks really took. Zero when Simulate is off.
+func (c *Context) SimAdjustment() time.Duration {
+	return time.Duration(c.taskSimNanos.Load() - c.taskRealNanos.Load())
+}
+
+// Cancel requests cooperative termination of the run; long-running
+// operators (nested-loop joins, exchanges, partition maps) observe it and
+// return ErrCanceled.
+func (c *Context) Cancel() { c.canceled.Store(true) }
+
+// Canceled reports whether Cancel was called.
+func (c *Context) Canceled() bool { return c.canceled.Load() }
+
+// CheckCanceled returns ErrCanceled after Cancel, nil otherwise.
+func (c *Context) CheckCanceled() error {
+	if c.Canceled() {
+		return ErrCanceled
+	}
+	return nil
+}
+
+// NewContext creates a context with the given executor count (minimum 1).
+func NewContext(executors int) *Context {
+	if executors < 1 {
+		executors = 1
+	}
+	return &Context{Executors: executors, Metrics: &Metrics{}}
+}
+
+// MapPartitions applies fn to each partition of in, running at most
+// Executors partitions concurrently, and returns the transformed dataset.
+// This is the engine's task-scheduling primitive: one partition = one task.
+func (c *Context) MapPartitions(in *Dataset, fn func(i int, part []types.Row) ([]types.Row, error)) (*Dataset, error) {
+	n := len(in.Parts)
+	out := make([][]types.Row, n)
+	if n == 0 {
+		return &Dataset{}, nil
+	}
+	if c.Simulate {
+		return c.mapPartitionsSimulated(in, out, fn)
+	}
+	workers := c.Executors
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := c.CheckCanceled(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				res, err := fn(i, in.Parts[i])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return nil, err.(error)
+	}
+	return &Dataset{Parts: out}, nil
+}
+
+// mapPartitionsSimulated runs tasks serially, measures each, and advances
+// the simulated clock by the greedy makespan of scheduling them onto
+// Executors workers.
+func (c *Context) mapPartitionsSimulated(in *Dataset, out [][]types.Row, fn func(i int, part []types.Row) ([]types.Row, error)) (*Dataset, error) {
+	durations := make([]time.Duration, len(in.Parts))
+	var serial time.Duration
+	for i, part := range in.Parts {
+		if err := c.CheckCanceled(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := fn(i, part)
+		if err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		durations[i] = d + c.TaskOverhead
+		serial += d
+		out[i] = res
+	}
+	c.taskRealNanos.Add(int64(serial))
+	c.taskSimNanos.Add(int64(Makespan(durations, c.Executors)))
+	return &Dataset{Parts: out}, nil
+}
+
+// Makespan computes the completion time of scheduling tasks (in order)
+// greedily onto k workers: each task goes to the earliest-available worker.
+func Makespan(tasks []time.Duration, k int) time.Duration {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(tasks) {
+		k = len(tasks)
+	}
+	if k == 0 {
+		return 0
+	}
+	avail := make([]time.Duration, k)
+	for _, d := range tasks {
+		minI := 0
+		for i := 1; i < k; i++ {
+			if avail[i] < avail[minI] {
+				minI = i
+			}
+		}
+		avail[minI] += d
+	}
+	var max time.Duration
+	for _, a := range avail {
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Distribution selects how an exchange repartitions data, mirroring the
+// Spark distributions the paper uses (§5.5–§5.7).
+type Distribution int
+
+// Exchange distributions.
+const (
+	// Unspecified rebalances into Executors equal partitions, modelling
+	// Spark's default even distribution across executors.
+	Unspecified Distribution = iota
+	// AllTuples gathers everything into a single partition — required by
+	// the global skyline computation.
+	AllTuples
+	// NullBitmap partitions by the IsNull bitmap of key expressions —
+	// the incomplete-skyline distribution of §5.7.
+	NullBitmap
+	// Hash partitions rows by the hash of key values into Executors
+	// partitions.
+	Hash
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Unspecified:
+		return "Unspecified"
+	case AllTuples:
+		return "AllTuples"
+	case NullBitmap:
+		return "NullBitmap"
+	case Hash:
+		return "Hash"
+	case Grid:
+		return "Grid"
+	case Angle:
+		return "Angle"
+	case Zorder:
+		return "Zorder"
+	}
+	return fmt.Sprintf("Distribution(%d)", int(d))
+}
+
+// KeyFunc extracts the repartitioning key values of a row (used by
+// NullBitmap and Hash distributions).
+type KeyFunc func(types.Row) (types.Row, error)
+
+// Exchange repartitions the dataset under the given distribution and
+// charges the shuffle to the metrics.
+func (c *Context) Exchange(in *Dataset, dist Distribution, key KeyFunc) (*Dataset, error) {
+	c.Metrics.AddShuffled(int64(in.NumRows()))
+	switch dist {
+	case AllTuples:
+		return NewDataset(in.Gather()), nil
+	case Unspecified:
+		rows := in.Gather()
+		return NewDataset(splitEven(rows, c.Executors)...), nil
+	case NullBitmap:
+		if key == nil {
+			return nil, fmt.Errorf("cluster: NullBitmap exchange requires a key function")
+		}
+		index := make(map[uint64]int)
+		var parts [][]types.Row
+		for _, row := range in.Gather() {
+			k, err := key(row)
+			if err != nil {
+				return nil, err
+			}
+			b := skyline.NullBitmap(k)
+			i, ok := index[b]
+			if !ok {
+				i = len(parts)
+				index[b] = i
+				parts = append(parts, nil)
+			}
+			parts[i] = append(parts[i], row)
+		}
+		if len(parts) == 0 {
+			return &Dataset{}, nil
+		}
+		return NewDataset(parts...), nil
+	case Hash:
+		if key == nil {
+			return nil, fmt.Errorf("cluster: Hash exchange requires a key function")
+		}
+		parts := make([][]types.Row, c.Executors)
+		for _, row := range in.Gather() {
+			k, err := key(row)
+			if err != nil {
+				return nil, err
+			}
+			h := hashRow(k)
+			i := int(h % uint64(c.Executors))
+			parts[i] = append(parts[i], row)
+		}
+		return NewDataset(parts...), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown distribution %v", dist)
+}
+
+// splitEven splits rows into at most n equal contiguous chunks (never
+// returning empty chunks unless rows is empty).
+func splitEven(rows []types.Row, n int) [][]types.Row {
+	if len(rows) == 0 {
+		return nil
+	}
+	if n > len(rows) {
+		n = len(rows)
+	}
+	parts := make([][]types.Row, 0, n)
+	chunk := (len(rows) + n - 1) / n
+	for start := 0; start < len(rows); start += chunk {
+		end := start + chunk
+		if end > len(rows) {
+			end = len(rows)
+		}
+		parts = append(parts, rows[start:end])
+	}
+	return parts
+}
+
+// hashRow hashes key values with FNV-1a over their group keys.
+func hashRow(key types.Row) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, v := range key {
+		for _, b := range []byte(v.GroupKey()) {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}

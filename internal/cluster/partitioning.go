@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"skysql/internal/types"
+)
+
+// This file implements the alternative partitioning schemes the paper
+// lists as future work for the local skyline computation (§7, citing
+// [Vlachou et al. 2008] for angle-based partitioning and [Tang et al.
+// 2019] for grid-based schemes). Both partition on the skyline-dimension
+// values themselves rather than arbitrarily, which tends to make local
+// skylines more selective and shrinks the input of the non-parallelizable
+// global phase.
+
+// Grid and Angle distributions (continuing the Distribution enum).
+const (
+	// Grid partitions the key space into per-dimension equi-width buckets
+	// and assigns whole cells to executors.
+	Grid Distribution = iota + 100
+	// Angle converts keys to hyperspherical coordinates and partitions by
+	// the first angle, the scheme of Vlachou et al.: points on the same
+	// ray from the origin compete within one partition, which prunes well
+	// on anti-correlated data.
+	Angle
+	// Zorder computes a Z-address for every tuple (bit-interleaved bucket
+	// coordinates, [Lee et al. 2010]) and range-partitions the Z-order —
+	// the paper's §7 "long-term" partitioning scheme.
+	Zorder
+)
+
+// ExchangePartitioned repartitions under the Grid or Angle distribution
+// and charges the shuffle to the metrics.
+func (c *Context) ExchangePartitioned(in *Dataset, dist Distribution, key KeyFunc, minimize []bool) (*Dataset, error) {
+	c.Metrics.AddShuffled(int64(in.NumRows()))
+	return c.exchangePartitioned(in, dist, key, minimize)
+}
+
+// exchangePartitioned implements the Grid and Angle distributions; key
+// extracts the (numeric) skyline-dimension values, and dirs flags which
+// dimensions are minimized (true) vs maximized (false) so that values can
+// be oriented consistently before bucketing.
+func (c *Context) exchangePartitioned(in *Dataset, dist Distribution, key KeyFunc, minimize []bool) (*Dataset, error) {
+	rows := in.Gather()
+	if len(rows) == 0 {
+		return &Dataset{}, nil
+	}
+	keys := make([][]float64, len(rows))
+	width := 0
+	for i, row := range rows {
+		kv, err := key(row)
+		if err != nil {
+			return nil, err
+		}
+		width = len(kv)
+		fs := make([]float64, len(kv))
+		for d, v := range kv {
+			switch {
+			case v.IsNull():
+				fs[d] = 0 // schemes are used on complete data; degrade gracefully
+			case v.IsNumeric():
+				fs[d] = v.AsFloat()
+			default:
+				return nil, fmt.Errorf("cluster: %v partitioning requires numeric dimensions", dist)
+			}
+		}
+		keys[i] = fs
+	}
+	// Normalize each dimension to [0,1] oriented so 0 is "best".
+	mins := make([]float64, width)
+	maxs := make([]float64, width)
+	for d := 0; d < width; d++ {
+		mins[d], maxs[d] = math.Inf(1), math.Inf(-1)
+		for _, k := range keys {
+			if k[d] < mins[d] {
+				mins[d] = k[d]
+			}
+			if k[d] > maxs[d] {
+				maxs[d] = k[d]
+			}
+		}
+	}
+	norm := func(k []float64) []float64 {
+		out := make([]float64, width)
+		for d := 0; d < width; d++ {
+			span := maxs[d] - mins[d]
+			if span == 0 {
+				out[d] = 0
+				continue
+			}
+			v := (k[d] - mins[d]) / span
+			if d < len(minimize) && !minimize[d] {
+				v = 1 - v // orient MAX dimensions so smaller = better
+			}
+			out[d] = v
+		}
+		return out
+	}
+
+	parts := make([][]types.Row, c.Executors)
+	for i, row := range rows {
+		nk := norm(keys[i])
+		var p int
+		switch dist {
+		case Grid:
+			p = gridCell(nk, c.Executors)
+		case Angle:
+			p = angleBucket(nk, c.Executors)
+		case Zorder:
+			// Assigned below after the global Z-order is known.
+			continue
+		default:
+			return nil, fmt.Errorf("cluster: exchangePartitioned on %v", dist)
+		}
+		parts[p] = append(parts[p], row)
+	}
+	if dist == Zorder {
+		return zorderPartitions(rows, keys, norm, c.Executors), nil
+	}
+	// Drop empty partitions to avoid scheduling empty tasks.
+	var nonEmpty [][]types.Row
+	for _, p := range parts {
+		if len(p) > 0 {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	return NewDataset(nonEmpty...), nil
+}
+
+// zorderPartitions sorts rows by their Z-address and splits the order into
+// contiguous ranges, one per executor. Tuples close in Z-order are close in
+// every dimension, so local skylines prune aggressively.
+func zorderPartitions(rows []types.Row, keys [][]float64, norm func([]float64) []float64, executors int) *Dataset {
+	type zrow struct {
+		z   uint64
+		row types.Row
+	}
+	zs := make([]zrow, len(rows))
+	for i, row := range rows {
+		zs[i] = zrow{z: zAddress(norm(keys[i])), row: row}
+	}
+	sort.Slice(zs, func(a, b int) bool { return zs[a].z < zs[b].z })
+	sorted := make([]types.Row, len(zs))
+	for i, zr := range zs {
+		sorted[i] = zr.row
+	}
+	return NewDataset(splitEven(sorted, executors)...)
+}
+
+// zAddress interleaves the top bits of each normalized coordinate into a
+// Morton code (the Z-address of [Lee et al. 2010]).
+func zAddress(k []float64) uint64 {
+	const bitsPerDim = 10
+	var z uint64
+	buckets := make([]uint64, len(k))
+	for d, v := range k {
+		b := uint64(v * float64(int(1)<<bitsPerDim))
+		if b >= 1<<bitsPerDim {
+			b = 1<<bitsPerDim - 1
+		}
+		buckets[d] = b
+	}
+	bit := 0
+	for level := bitsPerDim - 1; level >= 0 && bit < 64; level-- {
+		for d := 0; d < len(k) && bit < 64; d++ {
+			z = (z << 1) | ((buckets[d] >> uint(level)) & 1)
+			bit++
+		}
+	}
+	return z
+}
+
+// gridCell buckets each dimension into g equi-width cells (g chosen so the
+// cell count roughly matches the executor count) and folds the cell
+// coordinates into a partition index.
+func gridCell(k []float64, executors int) int {
+	g := int(math.Ceil(math.Pow(float64(executors), 1/float64(len(k)))))
+	if g < 1 {
+		g = 1
+	}
+	cell := 0
+	for _, v := range k {
+		b := int(v * float64(g))
+		if b >= g {
+			b = g - 1
+		}
+		cell = cell*g + b
+	}
+	return cell % executors
+}
+
+// angleBucket maps the point to its first hyperspherical angle over the
+// normalized coordinates and buckets [0, π/2] uniformly.
+func angleBucket(k []float64, executors int) int {
+	if len(k) == 1 {
+		b := int(k[0] * float64(executors))
+		if b >= executors {
+			b = executors - 1
+		}
+		return b
+	}
+	// First angle: atan2 of the norm of the tail against the head.
+	var tail float64
+	for _, v := range k[1:] {
+		tail += v * v
+	}
+	phi := math.Atan2(math.Sqrt(tail), k[0]) // ∈ [0, π/2] for non-negative coords
+	b := int(phi / (math.Pi / 2) * float64(executors))
+	if b >= executors {
+		b = executors - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"skysql/internal/types"
+)
+
+func TestAirbnbShape(t *testing.T) {
+	tab := Airbnb(Config{Rows: 500, Seed: 1})
+	if len(tab.Rows) != 500 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Schema.Len() != 7 {
+		t.Fatalf("columns = %d, want 7 (Table 1)", tab.Schema.Len())
+	}
+	nulls := 0
+	for _, r := range tab.Rows {
+		for _, v := range r[1:] {
+			if v.IsNull() {
+				nulls++
+			}
+		}
+		if r[0].IsNull() {
+			t.Fatal("key column must never be NULL")
+		}
+	}
+	if nulls == 0 {
+		t.Error("incomplete variant must contain NULLs")
+	}
+}
+
+func TestAirbnbCompleteHasNoNulls(t *testing.T) {
+	tab := Airbnb(Config{Rows: 300, Seed: 2, Complete: true})
+	for _, r := range tab.Rows {
+		for _, v := range r {
+			if v.IsNull() {
+				t.Fatal("complete variant must not contain NULLs")
+			}
+		}
+	}
+	for _, f := range tab.Schema.Fields {
+		if f.Nullable {
+			t.Errorf("complete schema field %s marked nullable", f.Name)
+		}
+	}
+}
+
+func TestAirbnbDeterministic(t *testing.T) {
+	a := Airbnb(Config{Rows: 50, Seed: 7})
+	b := Airbnb(Config{Rows: 50, Seed: 7})
+	for i := range a.Rows {
+		if a.Rows[i].String() != b.Rows[i].String() {
+			t.Fatal("same seed must give identical data")
+		}
+	}
+	c := Airbnb(Config{Rows: 50, Seed: 8})
+	same := true
+	for i := range a.Rows {
+		if a.Rows[i].String() != c.Rows[i].String() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds must give different data")
+	}
+}
+
+func TestStoreSalesShape(t *testing.T) {
+	tab := StoreSales(Config{Rows: 400, Seed: 3, Complete: true})
+	if tab.Schema.Len() != 8 {
+		t.Fatalf("columns = %d, want 8 (Table 2)", tab.Schema.Len())
+	}
+	// ss_quantity must have few distinct values (1..100) so that the
+	// paper's dimension-2 skyline shrink reproduces.
+	distinct := map[int64]bool{}
+	for _, r := range tab.Rows {
+		q := r[2].AsInt()
+		if q < 1 || q > 100 {
+			t.Fatalf("ss_quantity out of range: %d", q)
+		}
+		distinct[q] = true
+	}
+	if len(distinct) > 100 {
+		t.Error("ss_quantity cardinality too high")
+	}
+}
+
+func TestDimsMatchSchemas(t *testing.T) {
+	airbnb := Airbnb(Config{Rows: 1, Seed: 1})
+	for _, d := range AirbnbDims() {
+		if airbnb.Schema.IndexOf(d.Col) < 0 {
+			t.Errorf("airbnb dim %s not in schema", d.Col)
+		}
+	}
+	ss := StoreSales(Config{Rows: 1, Seed: 1})
+	for _, d := range StoreSalesDims() {
+		if ss.Schema.IndexOf(d.Col) < 0 {
+			t.Errorf("store_sales dim %s not in schema", d.Col)
+		}
+	}
+	if len(AirbnbDims()) != 6 || len(StoreSalesDims()) != 6 || len(MusicBrainzDims()) != 6 {
+		t.Error("the paper uses 6 skyline dimensions per dataset")
+	}
+}
+
+func TestMusicBrainzTables(t *testing.T) {
+	mb := NewMusicBrainz(Config{Rows: 300, Seed: 4})
+	if mb.Recordings.Name != "recording_incomplete" {
+		t.Errorf("incomplete variant name = %s", mb.Recordings.Name)
+	}
+	mbC := NewMusicBrainz(Config{Rows: 300, Seed: 4, Complete: true})
+	if mbC.Recordings.Name != "recording_complete" {
+		t.Errorf("complete variant name = %s", mbC.Recordings.Name)
+	}
+	if len(mb.Meta.Rows) != 300 {
+		t.Errorf("meta rows = %d", len(mb.Meta.Rows))
+	}
+	rated := 0
+	for _, r := range mb.Meta.Rows {
+		if !r[1].IsNull() {
+			rated++
+		}
+	}
+	if rated == 0 || rated == 300 {
+		t.Errorf("rated fraction = %d/300, want a strict subset", rated)
+	}
+	if len(mb.Tracks.Rows) == 0 {
+		t.Error("tracks must not be empty")
+	}
+	if !strings.Contains(mb.BaseQuery(), "LEFT OUTER JOIN") {
+		t.Error("base query must contain the paper's outer join")
+	}
+}
+
+func TestSyntheticDistributions(t *testing.T) {
+	const n, dims = 800, 3
+	skySizes := map[Distribution]int{}
+	for _, dist := range []Distribution{Independent, Correlated, AntiCorrelated} {
+		tab := Synthetic(dist, n, dims, Config{Seed: 5, Complete: true})
+		if len(tab.Rows) != n || tab.Schema.Len() != dims+1 {
+			t.Fatalf("%v: shape wrong", dist)
+		}
+		// Naive skyline size (all dims MIN).
+		size := 0
+		for i, r := range tab.Rows {
+			dominated := false
+			for j, s := range tab.Rows {
+				if i == j {
+					continue
+				}
+				allLeq, oneLt := true, false
+				for d := 1; d <= dims; d++ {
+					c, _ := types.CompareValues(s[d], r[d])
+					if c > 0 {
+						allLeq = false
+						break
+					}
+					if c < 0 {
+						oneLt = true
+					}
+				}
+				if allLeq && oneLt {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				size++
+			}
+		}
+		skySizes[dist] = size
+	}
+	if !(skySizes[Correlated] < skySizes[Independent] && skySizes[Independent] < skySizes[AntiCorrelated]) {
+		t.Errorf("skyline sizes must order correlated < independent < anti-correlated, got %v", skySizes)
+	}
+}
+
+func TestSkylineQueryBuilder(t *testing.T) {
+	q := SkylineQuery("airbnb", AirbnbDims()[:2], true, true)
+	want := "SELECT * FROM airbnb SKYLINE OF DISTINCT COMPLETE price MIN, accommodates MAX"
+	if q != want {
+		t.Errorf("query = %q, want %q", q, want)
+	}
+}

@@ -1,0 +1,135 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"skysql/internal/catalog"
+	"skysql/internal/types"
+)
+
+// MusicBrainz holds the three tables of the paper's complex-query
+// experiments (Appendix E): recordings, their meta ratings, and the tracks
+// they appear on.
+type MusicBrainz struct {
+	Recordings *catalog.Table // recording_complete or recording_incomplete
+	Meta       *catalog.Table // recording_meta
+	Tracks     *catalog.Table // track
+}
+
+// MusicBrainzDims lists the skyline dimensions of the paper's Table 13 in
+// order: rating MAX, rating_count MAX, length MIN, video MAX, num_tracks
+// MAX, min_position MIN. (id is the key.)
+func MusicBrainzDims() []Dim {
+	return []Dim{
+		{"rating", "MAX"},
+		{"rating_count", "MAX"},
+		{"length", "MIN"},
+		{"video", "MAX"},
+		{"num_tracks", "MAX"},
+		{"min_position", "MIN"},
+	}
+}
+
+// NewMusicBrainz generates the three tables. Roughly a third of the
+// recordings carry ratings (the paper selects ~500k rated of 1.5M), each
+// recording appears on zero or more tracks, and — in the incomplete
+// variant — length may be NULL.
+func NewMusicBrainz(cfg Config) *MusicBrainz {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	name := "recording_complete"
+	if !cfg.Complete {
+		name = "recording_incomplete"
+	}
+	recSchema := types.NewSchema(
+		types.Field{Name: "id", Type: types.KindInt},
+		types.Field{Name: "length", Type: types.KindInt, Nullable: !cfg.Complete},
+		types.Field{Name: "video", Type: types.KindInt},
+	)
+	recRows := make([]types.Row, cfg.Rows)
+	for i := range recRows {
+		length := types.Value(types.Int(int64(60000 + rng.Intn(540000)))) // 1–10 min in ms
+		if !cfg.Complete && rng.Float64() < cfg.nullFraction() {
+			length = types.Null
+		}
+		video := int64(0)
+		if rng.Float64() < 0.07 {
+			video = 1
+		}
+		recRows[i] = types.Row{types.Int(int64(i + 1)), length, types.Int(video)}
+	}
+	recordings, err := catalog.NewTable(name, recSchema, recRows)
+	if err != nil {
+		panic("datagen: recording schema mismatch: " + err.Error())
+	}
+
+	metaSchema := types.NewSchema(
+		types.Field{Name: "id", Type: types.KindInt},
+		types.Field{Name: "rating", Type: types.KindInt, Nullable: true},
+		types.Field{Name: "rating_count", Type: types.KindInt, Nullable: true},
+	)
+	metaRows := make([]types.Row, cfg.Rows)
+	for i := range metaRows {
+		var rating, count types.Value = types.Null, types.Null
+		if rng.Float64() < 0.34 { // ~ the paper's rated third
+			c := 1 + int64(rng.ExpFloat64()*12)
+			rating = types.Int(int64(20 + rng.Intn(81))) // 20–100 cumulative
+			count = types.Int(c)
+		}
+		metaRows[i] = types.Row{types.Int(int64(i + 1)), rating, count}
+	}
+	meta, err := catalog.NewTable("recording_meta", metaSchema, metaRows)
+	if err != nil {
+		panic("datagen: recording_meta schema mismatch: " + err.Error())
+	}
+
+	trackSchema := types.NewSchema(
+		types.Field{Name: "recording", Type: types.KindInt},
+		types.Field{Name: "position", Type: types.KindInt},
+	)
+	var trackRows []types.Row
+	for i := 0; i < cfg.Rows; i++ {
+		n := 0
+		switch {
+		case rng.Float64() < 0.55:
+			n = 1 + rng.Intn(2)
+		case rng.Float64() < 0.2:
+			n = 2 + rng.Intn(5)
+		}
+		for t := 0; t < n; t++ {
+			trackRows = append(trackRows, types.Row{
+				types.Int(int64(i + 1)),
+				types.Int(int64(1 + rng.Intn(20))),
+			})
+		}
+	}
+	tracks, err := catalog.NewTable("track", trackSchema, trackRows)
+	if err != nil {
+		panic("datagen: track schema mismatch: " + err.Error())
+	}
+	return &MusicBrainz{Recordings: recordings, Meta: meta, Tracks: tracks}
+}
+
+// BaseQuery returns the paper's Listing 11/12 base query over the
+// generated tables: recordings left-outer-joined with per-recording track
+// aggregates and inner-joined with ratings.
+func (m *MusicBrainz) BaseQuery() string {
+	rec := m.Recordings.Name
+	return `SELECT
+		r.id,
+		ifnull(r.length, 0) AS length,
+		r.video,
+		ifnull(rm.rating, 0) AS rating,
+		ifnull(rm.rating_count, 0) AS rating_count,
+		ifnull(recording_tracks.num_tracks, 0) AS num_tracks,
+		ifnull(recording_tracks.min_position, 99) AS min_position
+	FROM ` + rec + ` r LEFT OUTER JOIN (
+		SELECT
+			ti.recording AS id,
+			count(ti.recording) AS num_tracks,
+			min(ti.position) AS min_position
+		FROM ` + rec + ` ri
+		JOIN track ti ON ti.recording = ri.id
+		GROUP BY ti.recording
+	) recording_tracks USING (id)
+	JOIN recording_meta rm USING (id)`
+}

@@ -1,0 +1,121 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"skysql/internal/catalog"
+	"skysql/internal/types"
+)
+
+// Distribution selects the classic synthetic skyline workload families
+// introduced by the original skyline paper and used throughout the
+// literature to stress algorithms: independent, correlated (tiny
+// skylines), and anti-correlated (huge skylines).
+type Distribution int
+
+// Synthetic distributions.
+const (
+	Independent Distribution = iota
+	Correlated
+	AntiCorrelated
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Independent:
+		return "independent"
+	case Correlated:
+		return "correlated"
+	case AntiCorrelated:
+		return "anti-correlated"
+	}
+	return "?"
+}
+
+// Synthetic generates an n-row, dims-dimension table named t with float
+// columns d1..dN drawn from the given distribution in [0,1]. All
+// dimensions are minimized by convention in the ablation benchmarks.
+func Synthetic(dist Distribution, n, dims int, cfg Config) *catalog.Table {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fields := make([]types.Field, dims+1)
+	fields[0] = types.Field{Name: "id", Type: types.KindInt}
+	for d := 1; d <= dims; d++ {
+		fields[d] = types.Field{Name: fmt.Sprintf("d%d", d), Type: types.KindFloat, Nullable: !cfg.Complete}
+	}
+	rows := make([]types.Row, n)
+	for i := range rows {
+		row := make(types.Row, dims+1)
+		row[0] = types.Int(int64(i + 1))
+		vals := make([]float64, dims)
+		switch dist {
+		case Independent:
+			for d := range vals {
+				vals[d] = rng.Float64()
+			}
+		case Correlated:
+			base := rng.Float64()
+			for d := range vals {
+				vals[d] = clamp01(base + rng.NormFloat64()*0.05)
+			}
+		case AntiCorrelated:
+			// Points near the hyperplane sum(v)=const with jitter: being
+			// good in one dimension implies being bad in others.
+			base := make([]float64, dims)
+			sum := 0.0
+			for d := range base {
+				base[d] = rng.ExpFloat64()
+				sum += base[d]
+			}
+			for d := range vals {
+				vals[d] = clamp01(base[d]/sum + rng.NormFloat64()*0.02)
+			}
+		}
+		for d, v := range vals {
+			val := types.Value(types.Float(math.Round(v*1e6) / 1e6))
+			if !cfg.Complete && rng.Float64() < cfg.nullFraction() {
+				val = types.Null
+			}
+			row[d+1] = val
+		}
+		rows[i] = row
+	}
+	t, err := catalog.NewTable("t", types.NewSchema(fields...), rows)
+	if err != nil {
+		panic("datagen: synthetic schema mismatch: " + err.Error())
+	}
+	return t
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SkylineQuery builds the SKYLINE OF query text for a table, the given
+// dimensions, and flags, e.g.
+//
+//	SELECT * FROM airbnb SKYLINE OF price MIN, accommodates MAX
+func SkylineQuery(table string, dims []Dim, distinct, complete bool) string {
+	q := "SELECT * FROM " + table + " SKYLINE OF "
+	if distinct {
+		q += "DISTINCT "
+	}
+	if complete {
+		q += "COMPLETE "
+	}
+	for i, d := range dims {
+		if i > 0 {
+			q += ", "
+		}
+		q += d.Col + " " + d.Dir
+	}
+	return q
+}

@@ -1,0 +1,207 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"skysql/internal/types"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+var aggNames = map[AggFunc]string{
+	AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max", AggAvg: "avg",
+}
+
+// String returns the SQL name of the aggregate function.
+func (f AggFunc) String() string { return aggNames[f] }
+
+// AggFuncByName looks up an aggregate function by its SQL name.
+func AggFuncByName(name string) (AggFunc, bool) {
+	for f, n := range aggNames {
+		if strings.EqualFold(n, name) {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// Aggregate is a call to an aggregate function inside a projection, HAVING,
+// ORDER BY, or — following the paper's Listing 7 — a skyline dimension.
+// It is not directly evaluable: the hash-aggregate operator computes it and
+// exposes the result as an output column; the analyzer then rewrites the
+// Aggregate node into a BoundRef onto that column.
+type Aggregate struct {
+	Fn   AggFunc
+	Arg  Expr // nil only for COUNT(*)
+	Star bool // COUNT(*)
+}
+
+// NewAggregate creates an aggregate call.
+func NewAggregate(fn AggFunc, arg Expr) *Aggregate { return &Aggregate{Fn: fn, Arg: arg} }
+
+// NewCountStar creates COUNT(*).
+func NewCountStar() *Aggregate { return &Aggregate{Fn: AggCount, Star: true} }
+
+func (a *Aggregate) Eval(types.Row) (types.Value, error) {
+	return types.Null, fmt.Errorf("expr: aggregate %s must be computed by an Aggregate operator", a)
+}
+
+func (a *Aggregate) String() string {
+	if a.Star {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Fn, a.Arg)
+}
+
+func (a *Aggregate) Children() []Expr {
+	if a.Arg == nil {
+		return nil
+	}
+	return []Expr{a.Arg}
+}
+
+func (a *Aggregate) WithChildren(c []Expr) Expr {
+	if len(c) == 0 {
+		return &Aggregate{Fn: a.Fn, Star: a.Star}
+	}
+	return &Aggregate{Fn: a.Fn, Arg: c[0], Star: a.Star}
+}
+
+func (a *Aggregate) Resolved() bool {
+	if a.Arg == nil {
+		return a.Star
+	}
+	return a.Arg.Resolved()
+}
+
+func (a *Aggregate) DataType() types.Kind {
+	switch a.Fn {
+	case AggCount:
+		return types.KindInt
+	case AggAvg:
+		return types.KindFloat
+	default:
+		if a.Arg != nil {
+			return a.Arg.DataType()
+		}
+		return types.KindNull
+	}
+}
+
+func (a *Aggregate) Nullable() bool { return a.Fn != AggCount }
+
+// Accumulator incrementally computes one aggregate over a stream of rows.
+type Accumulator struct {
+	fn    AggFunc
+	arg   Expr
+	star  bool
+	count int64
+	sum   float64
+	isInt bool
+	seen  bool
+	best  types.Value
+}
+
+// NewAccumulator creates an accumulator for the aggregate expression.
+func NewAccumulator(a *Aggregate) *Accumulator {
+	return &Accumulator{fn: a.Fn, arg: a.Arg, star: a.Star, isInt: true}
+}
+
+// Add folds one input row into the accumulator.
+func (ac *Accumulator) Add(row types.Row) error {
+	if ac.star {
+		ac.count++
+		return nil
+	}
+	v, err := ac.arg.Eval(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	ac.count++
+	switch ac.fn {
+	case AggSum, AggAvg:
+		if !v.IsNumeric() {
+			return fmt.Errorf("expr: %s over non-numeric value %s", ac.fn, v.Kind())
+		}
+		if v.Kind() != types.KindInt {
+			ac.isInt = false
+		}
+		ac.sum += v.AsFloat()
+	case AggMin, AggMax:
+		if !ac.seen {
+			ac.best, ac.seen = v, true
+			return nil
+		}
+		c, ok := types.CompareValues(v, ac.best)
+		if !ok {
+			return fmt.Errorf("expr: %s over incomparable values", ac.fn)
+		}
+		if (ac.fn == AggMin && c < 0) || (ac.fn == AggMax && c > 0) {
+			ac.best = v
+		}
+	}
+	return nil
+}
+
+// Merge folds another accumulator (e.g. from a different partition) into
+// the receiver. Both must have been created for the same aggregate.
+func (ac *Accumulator) Merge(o *Accumulator) error {
+	ac.count += o.count
+	ac.sum += o.sum
+	ac.isInt = ac.isInt && o.isInt
+	if o.seen {
+		if !ac.seen {
+			ac.best, ac.seen = o.best, true
+		} else {
+			c, ok := types.CompareValues(o.best, ac.best)
+			if !ok {
+				return fmt.Errorf("expr: merge over incomparable values")
+			}
+			if (ac.fn == AggMin && c < 0) || (ac.fn == AggMax && c > 0) {
+				ac.best = o.best
+			}
+		}
+	}
+	return nil
+}
+
+// Result returns the aggregate's final value.
+func (ac *Accumulator) Result() types.Value {
+	switch ac.fn {
+	case AggCount:
+		return types.Int(ac.count)
+	case AggSum:
+		if ac.count == 0 {
+			return types.Null
+		}
+		if ac.isInt {
+			return types.Int(int64(ac.sum))
+		}
+		return types.Float(ac.sum)
+	case AggAvg:
+		if ac.count == 0 {
+			return types.Null
+		}
+		return types.Float(ac.sum / float64(ac.count))
+	case AggMin, AggMax:
+		if !ac.seen {
+			return types.Null
+		}
+		return ac.best
+	}
+	return types.Null
+}

@@ -1,0 +1,194 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"skysql/internal/types"
+)
+
+// In is the SQL membership predicate `e [NOT] IN (v1, v2, ...)` with full
+// three-valued semantics: TRUE on a match, NULL when no match was found
+// but the needle or any list element was NULL, FALSE otherwise (inverted
+// under Negated).
+type In struct {
+	E       Expr
+	List    []Expr
+	Negated bool
+}
+
+// NewIn creates an IN predicate.
+func NewIn(e Expr, list []Expr, negated bool) *In {
+	return &In{E: e, List: list, Negated: negated}
+}
+
+func (in *In) Eval(row types.Row) (types.Value, error) {
+	needle, err := in.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	sawNull := needle.IsNull()
+	matched := false
+	if !needle.IsNull() {
+		for _, item := range in.List {
+			v, err := item.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if v.IsNull() {
+				sawNull = true
+				continue
+			}
+			c, ok := types.CompareValues(needle, v)
+			if !ok {
+				return types.Null, fmt.Errorf("expr: IN over incomparable kinds %s and %s", needle.Kind(), v.Kind())
+			}
+			if c == 0 {
+				matched = true
+				break
+			}
+		}
+	}
+	switch {
+	case matched:
+		return types.Bool(!in.Negated), nil
+	case sawNull:
+		return types.Null, nil
+	default:
+		return types.Bool(in.Negated), nil
+	}
+}
+
+func (in *In) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	op := "IN"
+	if in.Negated {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("%s %s (%s)", in.E, op, strings.Join(parts, ", "))
+}
+
+func (in *In) Children() []Expr { return append([]Expr{in.E}, in.List...) }
+
+func (in *In) WithChildren(c []Expr) Expr {
+	return &In{E: c[0], List: c[1:], Negated: in.Negated}
+}
+
+func (in *In) Resolved() bool {
+	return in.E.Resolved() && allResolved(in.List)
+}
+
+func (in *In) DataType() types.Kind { return types.KindBool }
+
+func (in *In) Nullable() bool {
+	if in.E.Nullable() {
+		return true
+	}
+	for _, e := range in.List {
+		if e.Nullable() {
+			return true
+		}
+	}
+	return false
+}
+
+// When is one branch of a searched CASE expression.
+type When struct {
+	Cond   Expr
+	Result Expr
+}
+
+// Case is the searched CASE expression:
+//
+//	CASE WHEN c1 THEN r1 [WHEN c2 THEN r2 ...] [ELSE e] END
+//
+// A missing ELSE yields NULL when no branch matches.
+type Case struct {
+	Whens []When
+	Else  Expr // may be nil
+}
+
+// NewCase creates a searched CASE expression.
+func NewCase(whens []When, elseExpr Expr) *Case {
+	return &Case{Whens: whens, Else: elseExpr}
+}
+
+func (c *Case) Eval(row types.Row) (types.Value, error) {
+	for _, w := range c.Whens {
+		hit, err := EvalPredicate(w.Cond, row)
+		if err != nil {
+			return types.Null, err
+		}
+		if hit {
+			return w.Result.Eval(row)
+		}
+	}
+	if c.Else != nil {
+		return c.Else.Eval(row)
+	}
+	return types.Null, nil
+}
+
+func (c *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range c.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond, w.Result)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&sb, " ELSE %s", c.Else)
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+func (c *Case) Children() []Expr {
+	out := make([]Expr, 0, len(c.Whens)*2+1)
+	for _, w := range c.Whens {
+		out = append(out, w.Cond, w.Result)
+	}
+	if c.Else != nil {
+		out = append(out, c.Else)
+	}
+	return out
+}
+
+func (c *Case) WithChildren(children []Expr) Expr {
+	out := &Case{Whens: make([]When, len(c.Whens))}
+	for i := range c.Whens {
+		out.Whens[i] = When{Cond: children[2*i], Result: children[2*i+1]}
+	}
+	if c.Else != nil {
+		out.Else = children[len(children)-1]
+	}
+	return out
+}
+
+func (c *Case) Resolved() bool { return allResolved(c.Children()) }
+
+func (c *Case) DataType() types.Kind {
+	for _, w := range c.Whens {
+		if k := w.Result.DataType(); k != types.KindNull {
+			return k
+		}
+	}
+	if c.Else != nil {
+		return c.Else.DataType()
+	}
+	return types.KindNull
+}
+
+func (c *Case) Nullable() bool {
+	if c.Else == nil {
+		return true
+	}
+	for _, ch := range c.Children() {
+		if ch.Nullable() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package expr
+
+import (
+	"testing"
+
+	"skysql/internal/types"
+)
+
+func TestInPredicate(t *testing.T) {
+	list := []Expr{lit(types.Int(1)), lit(types.Int(2)), lit(types.Int(3))}
+	tests := []struct {
+		name    string
+		needle  types.Value
+		list    []Expr
+		negated bool
+		want    types.Value
+	}{
+		{"match", types.Int(2), list, false, types.Bool(true)},
+		{"no match", types.Int(9), list, false, types.Bool(false)},
+		{"negated match", types.Int(2), list, true, types.Bool(false)},
+		{"negated no match", types.Int(9), list, true, types.Bool(true)},
+		{"null needle", types.Null, list, false, types.Null},
+		{"null in list no match", types.Int(9),
+			[]Expr{lit(types.Int(1)), lit(types.Null)}, false, types.Null},
+		{"null in list with match", types.Int(1),
+			[]Expr{lit(types.Int(1)), lit(types.Null)}, false, types.Bool(true)},
+		{"negated null", types.Null, list, true, types.Null},
+	}
+	for _, tt := range tests {
+		got := mustEval(t, NewIn(lit(tt.needle), tt.list, tt.negated), nil)
+		if got.IsNull() != tt.want.IsNull() || (!got.IsNull() && got.AsBool() != tt.want.AsBool()) {
+			t.Errorf("%s: got %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestInKindMismatch(t *testing.T) {
+	in := NewIn(lit(types.Int(1)), []Expr{lit(types.Str("x"))}, false)
+	if _, err := in.Eval(nil); err == nil {
+		t.Error("IN over incomparable kinds must error")
+	}
+}
+
+func TestInTreeMethods(t *testing.T) {
+	in := NewIn(ref(0), []Expr{lit(types.Int(1)), lit(types.Int(2))}, true)
+	if len(in.Children()) != 3 {
+		t.Errorf("children = %d", len(in.Children()))
+	}
+	rebuilt := in.WithChildren(in.Children()).(*In)
+	if !rebuilt.Negated || len(rebuilt.List) != 2 {
+		t.Error("WithChildren lost structure")
+	}
+	if in.String() != "c#0 NOT IN (1, 2)" {
+		t.Errorf("String = %q", in.String())
+	}
+	if in.DataType() != types.KindBool {
+		t.Error("IN must be boolean")
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	c := NewCase([]When{
+		{Cond: NewBinary(OpLt, ref(0), lit(types.Int(10))), Result: lit(types.Str("low"))},
+		{Cond: NewBinary(OpLt, ref(0), lit(types.Int(100))), Result: lit(types.Str("mid"))},
+	}, lit(types.Str("high")))
+	tests := []struct {
+		in   int64
+		want string
+	}{{5, "low"}, {50, "mid"}, {500, "high"}}
+	for _, tt := range tests {
+		got := mustEval(t, c, types.Row{types.Int(tt.in)})
+		if got.AsString() != tt.want {
+			t.Errorf("CASE(%d) = %v, want %s", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCaseWithoutElseYieldsNull(t *testing.T) {
+	c := NewCase([]When{
+		{Cond: lit(types.Bool(false)), Result: lit(types.Int(1))},
+	}, nil)
+	if got := mustEval(t, c, nil); !got.IsNull() {
+		t.Errorf("no-match CASE = %v, want NULL", got)
+	}
+	if !c.Nullable() {
+		t.Error("ELSE-less CASE must be nullable")
+	}
+}
+
+func TestCaseNullCondIsFalse(t *testing.T) {
+	c := NewCase([]When{
+		{Cond: lit(types.Null), Result: lit(types.Int(1))},
+	}, lit(types.Int(2)))
+	if got := mustEval(t, c, nil); got.AsInt() != 2 {
+		t.Errorf("NULL WHEN condition must not match: %v", got)
+	}
+}
+
+func TestCaseTreeMethods(t *testing.T) {
+	c := NewCase([]When{
+		{Cond: lit(types.Bool(true)), Result: lit(types.Int(1))},
+	}, lit(types.Int(2)))
+	if len(c.Children()) != 3 {
+		t.Errorf("children = %d", len(c.Children()))
+	}
+	r := c.WithChildren(c.Children()).(*Case)
+	if len(r.Whens) != 1 || r.Else == nil {
+		t.Error("WithChildren lost structure")
+	}
+	if c.DataType() != types.KindInt {
+		t.Errorf("DataType = %v", c.DataType())
+	}
+	want := "CASE WHEN true THEN 1 ELSE 2 END"
+	if c.String() != want {
+		t.Errorf("String = %q, want %q", c.String(), want)
+	}
+}

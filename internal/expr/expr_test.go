@@ -1,0 +1,532 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"skysql/internal/types"
+)
+
+func ref(i int) *BoundRef { return NewBoundRef(i, "c", types.KindInt, true) }
+
+func lit(v types.Value) *Literal { return NewLiteral(v) }
+
+func mustEval(t *testing.T, e Expr, row types.Row) types.Value {
+	t.Helper()
+	v, err := e.Eval(row)
+	if err != nil {
+		t.Fatalf("Eval(%s) error: %v", e, err)
+	}
+	return v
+}
+
+func TestUnresolvedColumnEvalErrors(t *testing.T) {
+	if _, err := NewColumn("t", "x").Eval(types.Row{}); err == nil {
+		t.Fatal("unresolved column Eval must error")
+	}
+	if NewColumn("t", "x").Resolved() {
+		t.Error("Column must not be resolved")
+	}
+}
+
+func TestColumnNameLowercasing(t *testing.T) {
+	c := NewColumn("T", "Price")
+	if c.Qualifier != "t" || c.Name != "price" {
+		t.Errorf("NewColumn did not lower-case: %+v", c)
+	}
+}
+
+func TestBoundRefEval(t *testing.T) {
+	row := types.Row{types.Int(5), types.Str("a")}
+	if v := mustEval(t, ref(0), row); v.AsInt() != 5 {
+		t.Errorf("BoundRef(0) = %v", v)
+	}
+	if _, err := ref(7).Eval(row); err == nil {
+		t.Error("out-of-range BoundRef must error")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tests := []struct {
+		op   BinaryOp
+		l, r types.Value
+		want types.Value
+	}{
+		{OpAdd, types.Int(2), types.Int(3), types.Int(5)},
+		{OpSub, types.Int(2), types.Int(3), types.Int(-1)},
+		{OpMul, types.Int(4), types.Int(3), types.Int(12)},
+		{OpDiv, types.Int(7), types.Int(2), types.Float(3.5)},
+		{OpDiv, types.Int(7), types.Int(0), types.Null},
+		{OpMod, types.Int(7), types.Int(3), types.Int(1)},
+		{OpMod, types.Int(7), types.Int(0), types.Null},
+		{OpAdd, types.Float(1.5), types.Int(1), types.Float(2.5)},
+		{OpAdd, types.Null, types.Int(1), types.Null},
+		{OpMul, types.Int(2), types.Null, types.Null},
+	}
+	for _, tt := range tests {
+		got := mustEval(t, NewBinary(tt.op, lit(tt.l), lit(tt.r)), nil)
+		if !got.Equal(tt.want) && !(got.IsNull() && tt.want.IsNull()) {
+			t.Errorf("%v %s %v = %v, want %v", tt.l, tt.op, tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tests := []struct {
+		op   BinaryOp
+		l, r types.Value
+		want types.Value
+	}{
+		{OpEq, types.Int(1), types.Int(1), types.Bool(true)},
+		{OpNeq, types.Int(1), types.Int(2), types.Bool(true)},
+		{OpLt, types.Int(1), types.Int(2), types.Bool(true)},
+		{OpLeq, types.Int(2), types.Int(2), types.Bool(true)},
+		{OpGt, types.Int(1), types.Int(2), types.Bool(false)},
+		{OpGeq, types.Float(2.5), types.Int(2), types.Bool(true)},
+		{OpEq, types.Str("a"), types.Str("a"), types.Bool(true)},
+		{OpEq, types.Null, types.Int(1), types.Null},
+		{OpLt, types.Int(1), types.Null, types.Null},
+	}
+	for _, tt := range tests {
+		got := mustEval(t, NewBinary(tt.op, lit(tt.l), lit(tt.r)), nil)
+		if got.IsNull() != tt.want.IsNull() || (!got.IsNull() && got.AsBool() != tt.want.AsBool()) {
+			t.Errorf("%v %s %v = %v, want %v", tt.l, tt.op, tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestComparisonKindMismatchErrors(t *testing.T) {
+	if _, err := NewBinary(OpLt, lit(types.Int(1)), lit(types.Str("a"))).Eval(nil); err == nil {
+		t.Error("comparing BIGINT to STRING must error")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	T, F, N := lit(types.Bool(true)), lit(types.Bool(false)), lit(types.Null)
+	tests := []struct {
+		name string
+		e    Expr
+		want types.Value
+	}{
+		{"T AND T", NewBinary(OpAnd, T, T), types.Bool(true)},
+		{"T AND F", NewBinary(OpAnd, T, F), types.Bool(false)},
+		{"F AND N", NewBinary(OpAnd, F, N), types.Bool(false)},
+		{"N AND F", NewBinary(OpAnd, N, F), types.Bool(false)},
+		{"T AND N", NewBinary(OpAnd, T, N), types.Null},
+		{"N AND T", NewBinary(OpAnd, N, T), types.Null},
+		{"N AND N", NewBinary(OpAnd, N, N), types.Null},
+		{"T OR N", NewBinary(OpOr, T, N), types.Bool(true)},
+		{"N OR T", NewBinary(OpOr, N, T), types.Bool(true)},
+		{"F OR N", NewBinary(OpOr, F, N), types.Null},
+		{"N OR F", NewBinary(OpOr, N, F), types.Null},
+		{"F OR F", NewBinary(OpOr, F, F), types.Bool(false)},
+		{"NOT T", NewNot(T), types.Bool(false)},
+		{"NOT N", NewNot(N), types.Null},
+	}
+	for _, tt := range tests {
+		got := mustEval(t, tt.e, nil)
+		if got.IsNull() != tt.want.IsNull() || (!got.IsNull() && got.AsBool() != tt.want.AsBool()) {
+			t.Errorf("%s = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	if v := mustEval(t, NewIsNull(lit(types.Null), false), nil); !v.AsBool() {
+		t.Error("NULL IS NULL must be true")
+	}
+	if v := mustEval(t, NewIsNull(lit(types.Int(1)), true), nil); !v.AsBool() {
+		t.Error("1 IS NOT NULL must be true")
+	}
+	if NewIsNull(lit(types.Null), false).Nullable() {
+		t.Error("IS NULL is never nullable")
+	}
+}
+
+func TestNegate(t *testing.T) {
+	if v := mustEval(t, NewNegate(lit(types.Int(3))), nil); v.AsInt() != -3 {
+		t.Errorf("-3 = %v", v)
+	}
+	if v := mustEval(t, NewNegate(lit(types.Float(2.5))), nil); v.AsFloat() != -2.5 {
+		t.Errorf("-2.5 = %v", v)
+	}
+	if v := mustEval(t, NewNegate(lit(types.Null)), nil); !v.IsNull() {
+		t.Error("-NULL must be NULL")
+	}
+	if _, err := NewNegate(lit(types.Str("x"))).Eval(nil); err == nil {
+		t.Error("negating a string must error")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want types.Value
+	}{
+		{NewFunc("ifnull", lit(types.Null), lit(types.Int(0))), types.Int(0)},
+		{NewFunc("ifnull", lit(types.Int(5)), lit(types.Int(0))), types.Int(5)},
+		{NewFunc("coalesce", lit(types.Null), lit(types.Null), lit(types.Int(2))), types.Int(2)},
+		{NewFunc("coalesce", lit(types.Null)), types.Null},
+		{NewFunc("abs", lit(types.Int(-4))), types.Int(4)},
+		{NewFunc("abs", lit(types.Float(-1.5))), types.Float(1.5)},
+		{NewFunc("least", lit(types.Int(3)), lit(types.Int(1)), lit(types.Int(2))), types.Int(1)},
+		{NewFunc("greatest", lit(types.Int(3)), lit(types.Int(1))), types.Int(3)},
+		{NewFunc("least", lit(types.Int(3)), lit(types.Null)), types.Null},
+		{NewFunc("sqrt", lit(types.Float(9))), types.Float(3)},
+		{NewFunc("floor", lit(types.Float(1.7))), types.Float(1)},
+		{NewFunc("ceil", lit(types.Float(1.2))), types.Float(2)},
+		{NewFunc("round", lit(types.Float(1.5))), types.Float(2)},
+		{NewFunc("length", lit(types.Str("abc"))), types.Int(3)},
+		{NewFunc("lower", lit(types.Str("AbC"))), types.Str("abc")},
+		{NewFunc("upper", lit(types.Str("abc"))), types.Str("ABC")},
+	}
+	for _, tt := range tests {
+		got := mustEval(t, tt.e, nil)
+		if !got.Equal(tt.want) && !(got.IsNull() && tt.want.IsNull()) {
+			t.Errorf("%s = %v, want %v", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestFuncArity(t *testing.T) {
+	if err := NewFunc("ifnull", lit(types.Int(1))).CheckArity(); err == nil {
+		t.Error("ifnull/1 must fail arity check")
+	}
+	if err := NewFunc("coalesce").CheckArity(); err == nil {
+		t.Error("coalesce/0 must fail arity check")
+	}
+	if err := NewFunc("nosuchfn", lit(types.Int(1))).CheckArity(); err == nil {
+		t.Error("unknown function must fail arity check")
+	}
+	if err := NewFunc("abs", lit(types.Int(1))).CheckArity(); err != nil {
+		t.Errorf("abs/1 arity: %v", err)
+	}
+}
+
+func TestIfnullNullability(t *testing.T) {
+	e := NewFunc("ifnull", NewBoundRef(0, "x", types.KindInt, true), lit(types.Int(0)))
+	if e.Nullable() {
+		t.Error("ifnull(nullable, literal) must be non-nullable")
+	}
+}
+
+func TestAggregateEvalErrors(t *testing.T) {
+	if _, err := NewCountStar().Eval(nil); err == nil {
+		t.Error("direct aggregate Eval must error")
+	}
+}
+
+func TestAccumulators(t *testing.T) {
+	rows := []types.Row{
+		{types.Int(3)}, {types.Int(1)}, {types.Null}, {types.Int(2)},
+	}
+	col := NewBoundRef(0, "x", types.KindInt, true)
+	check := func(fn AggFunc, want types.Value) {
+		t.Helper()
+		ac := NewAccumulator(NewAggregate(fn, col))
+		for _, r := range rows {
+			if err := ac.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := ac.Result()
+		if !got.Equal(want) {
+			t.Errorf("%s = %v, want %v", fn, got, want)
+		}
+	}
+	check(AggCount, types.Int(3)) // NULL skipped
+	check(AggSum, types.Int(6))
+	check(AggMin, types.Int(1))
+	check(AggMax, types.Int(3))
+	check(AggAvg, types.Float(2))
+}
+
+func TestCountStar(t *testing.T) {
+	ac := NewAccumulator(NewCountStar())
+	for i := 0; i < 4; i++ {
+		if err := ac.Add(types.Row{types.Null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ac.Result(); got.AsInt() != 4 {
+		t.Errorf("count(*) = %v, want 4", got)
+	}
+}
+
+func TestAccumulatorEmptyInput(t *testing.T) {
+	col := NewBoundRef(0, "x", types.KindInt, true)
+	for _, fn := range []AggFunc{AggSum, AggMin, AggMax, AggAvg} {
+		ac := NewAccumulator(NewAggregate(fn, col))
+		if got := ac.Result(); !got.IsNull() {
+			t.Errorf("%s over empty input = %v, want NULL", fn, got)
+		}
+	}
+	ac := NewAccumulator(NewAggregate(AggCount, col))
+	if got := ac.Result(); got.AsInt() != 0 {
+		t.Errorf("count over empty input = %v, want 0", got)
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	col := NewBoundRef(0, "x", types.KindInt, true)
+	a := NewAccumulator(NewAggregate(AggMax, col))
+	b := NewAccumulator(NewAggregate(AggMax, col))
+	a.Add(types.Row{types.Int(3)})
+	b.Add(types.Row{types.Int(9)})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Result(); got.AsInt() != 9 {
+		t.Errorf("merged max = %v, want 9", got)
+	}
+
+	s1 := NewAccumulator(NewAggregate(AggSum, col))
+	s2 := NewAccumulator(NewAggregate(AggSum, col))
+	s1.Add(types.Row{types.Int(1)})
+	s2.Add(types.Row{types.Int(2)})
+	s1.Merge(s2)
+	if got := s1.Result(); got.AsInt() != 3 {
+		t.Errorf("merged sum = %v, want 3", got)
+	}
+}
+
+func TestSkylineDimension(t *testing.T) {
+	d := NewSkylineDimension(ref(0), SkyMax)
+	if d.String() != "c#0 MAX" {
+		t.Errorf("String = %q", d.String())
+	}
+	v := mustEval(t, d, types.Row{types.Int(7)})
+	if v.AsInt() != 7 {
+		t.Errorf("dimension Eval = %v", v)
+	}
+	if !d.Resolved() {
+		t.Error("dimension over a bound ref must be resolved")
+	}
+	d2 := d.WithChildren([]Expr{ref(1)}).(*SkylineDimension)
+	if d2.Dir != SkyMax || d2.Child.(*BoundRef).Index != 1 {
+		t.Error("WithChildren must preserve direction and replace child")
+	}
+}
+
+func TestSkylineDirByName(t *testing.T) {
+	for name, want := range map[string]SkylineDir{"min": SkyMin, "MAX": SkyMax, "Diff": SkyDiff} {
+		got, ok := SkylineDirByName(name)
+		if !ok || got != want {
+			t.Errorf("SkylineDirByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := SkylineDirByName("avg"); ok {
+		t.Error("avg must not parse as a skyline direction")
+	}
+}
+
+func TestTransform(t *testing.T) {
+	e := NewBinary(OpAdd, NewColumn("", "a"), NewColumn("", "b"))
+	out := Transform(e, func(n Expr) Expr {
+		if c, ok := n.(*Column); ok {
+			if c.Name == "a" {
+				return ref(0)
+			}
+			return ref(1)
+		}
+		return n
+	})
+	if !out.Resolved() {
+		t.Fatalf("transform did not resolve: %s", out)
+	}
+	v := mustEval(t, out, types.Row{types.Int(2), types.Int(3)})
+	if v.AsInt() != 5 {
+		t.Errorf("transformed eval = %v", v)
+	}
+	if e.Children()[0].(*Column).Name != "a" {
+		t.Error("Transform must not mutate the original")
+	}
+}
+
+func TestSplitJoinConjuncts(t *testing.T) {
+	a := NewBinary(OpEq, ref(0), lit(types.Int(1)))
+	b := NewBinary(OpGt, ref(1), lit(types.Int(2)))
+	c := NewBinary(OpLt, ref(2), lit(types.Int(3)))
+	joined := JoinConjuncts([]Expr{a, b, c})
+	parts := SplitConjuncts(joined)
+	if len(parts) != 3 {
+		t.Fatalf("SplitConjuncts = %d parts, want 3", len(parts))
+	}
+	if JoinConjuncts(nil) != nil {
+		t.Error("JoinConjuncts(nil) must be nil")
+	}
+	// An OR must not be split.
+	or := NewBinary(OpOr, a, b)
+	if len(SplitConjuncts(or)) != 1 {
+		t.Error("OR must not be split into conjuncts")
+	}
+}
+
+func TestEvalPredicateNullIsFalse(t *testing.T) {
+	got, err := EvalPredicate(lit(types.Null), nil)
+	if err != nil || got {
+		t.Errorf("NULL predicate = %v, %v; want false, nil", got, err)
+	}
+}
+
+func TestContainsAggregate(t *testing.T) {
+	e := NewBinary(OpGt, NewAggregate(AggSum, ref(0)), lit(types.Int(10)))
+	if !ContainsAggregate(e) {
+		t.Error("must detect nested aggregate")
+	}
+	if ContainsAggregate(ref(0)) {
+		t.Error("plain ref must not contain an aggregate")
+	}
+}
+
+func TestOutputName(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want string
+	}{
+		{NewAlias(ref(0), "X"), "x"},
+		{NewColumn("t", "price"), "price"},
+		{NewBoundRef(2, "beds", types.KindInt, false), "beds"},
+		{NewSkylineDimension(NewColumn("", "p"), SkyMin), "p"},
+	}
+	for _, tt := range tests {
+		if got := OutputName(tt.e); got != tt.want {
+			t.Errorf("OutputName(%s) = %q, want %q", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestStarString(t *testing.T) {
+	if (&Star{}).String() != "*" || (&Star{Qualifier: "t"}).String() != "t.*" {
+		t.Error("Star rendering wrong")
+	}
+	if _, err := (&Star{}).Eval(nil); err == nil {
+		t.Error("Star Eval must error")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := NewBinary(OpAnd,
+		NewBinary(OpLeq, NewColumn("i", "price"), NewColumn("o", "price")),
+		NewIsNull(NewColumn("i", "beds"), true))
+	s := e.String()
+	for _, want := range []string{"i.price", "o.price", "<=", "IS NOT NULL", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestExtendedScalarFunctions(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want types.Value
+	}{
+		{NewFunc("pow", lit(types.Int(2)), lit(types.Int(10))), types.Float(1024)},
+		{NewFunc("exp", lit(types.Int(0))), types.Float(1)},
+		{NewFunc("ln", lit(types.Float(1))), types.Float(0)},
+		{NewFunc("log10", lit(types.Int(1000))), types.Float(3)},
+		{NewFunc("sign", lit(types.Int(-7))), types.Int(-1)},
+		{NewFunc("sign", lit(types.Int(0))), types.Int(0)},
+		{NewFunc("sign", lit(types.Float(2.5))), types.Int(1)},
+		{NewFunc("concat", lit(types.Str("a")), lit(types.Int(1)), lit(types.Str("b"))), types.Str("a1b")},
+		{NewFunc("concat", lit(types.Str("a")), lit(types.Null)), types.Null},
+		{NewFunc("substr", lit(types.Str("skyline")), lit(types.Int(1)), lit(types.Int(3))), types.Str("sky")},
+		{NewFunc("substr", lit(types.Str("sky")), lit(types.Int(2)), lit(types.Int(99))), types.Str("ky")},
+		{NewFunc("substr", lit(types.Str("sky")), lit(types.Int(9)), lit(types.Int(2))), types.Str("")},
+		{NewFunc("trim", lit(types.Str("  x "))), types.Str("x")},
+	}
+	for _, tt := range tests {
+		got := mustEval(t, tt.e, nil)
+		if !got.Equal(tt.want) && !(got.IsNull() && tt.want.IsNull()) {
+			t.Errorf("%s = %v, want %v", tt.e, got, tt.want)
+		}
+	}
+}
+
+// TestExprInterfaceContracts sweeps every expression node type: String
+// non-empty, WithChildren round-trips, DataType/Nullable callable.
+func TestExprInterfaceContracts(t *testing.T) {
+	nodes := []Expr{
+		NewColumn("t", "a"),
+		NewBoundRef(0, "a", types.KindInt, false),
+		NewLiteral(types.Int(1)),
+		NewAlias(ref(0), "x"),
+		NewQualifiedAlias(ref(0), "t", "x"),
+		&Star{Qualifier: "t"},
+		NewBinary(OpAdd, ref(0), ref(1)),
+		NewNot(lit(types.Bool(true))),
+		NewNegate(ref(0)),
+		NewIsNull(ref(0), true),
+		NewFunc("ifnull", ref(0), lit(types.Int(0))),
+		NewAggregate(AggSum, ref(0)),
+		NewCountStar(),
+		NewSkylineDimension(ref(0), SkyMax),
+		NewIn(ref(0), []Expr{lit(types.Int(1))}, false),
+		NewCase([]When{{Cond: lit(types.Bool(true)), Result: ref(0)}}, ref(1)),
+	}
+	for _, n := range nodes {
+		if n.String() == "" {
+			t.Errorf("%T: empty String()", n)
+		}
+		_ = n.DataType()
+		_ = n.Nullable()
+		_ = n.Resolved()
+		children := n.Children()
+		if len(children) > 0 {
+			rebuilt := n.WithChildren(children)
+			if len(rebuilt.Children()) != len(children) {
+				t.Errorf("%T: WithChildren changed arity", n)
+			}
+			if rebuilt.String() != n.String() {
+				t.Errorf("%T: WithChildren changed rendering %q vs %q", n, rebuilt.String(), n.String())
+			}
+		}
+	}
+}
+
+func TestAggregateHelpers(t *testing.T) {
+	if AggSum.String() != "sum" || AggCount.String() != "count" {
+		t.Error("AggFunc names wrong")
+	}
+	if f, ok := AggFuncByName("AVG"); !ok || f != AggAvg {
+		t.Error("AggFuncByName case-insensitivity")
+	}
+	if _, ok := AggFuncByName("median"); ok {
+		t.Error("unknown aggregate must not resolve")
+	}
+	ag := NewAggregate(AggAvg, ref(0))
+	if ag.DataType() != types.KindFloat {
+		t.Error("avg must be DOUBLE")
+	}
+	if NewCountStar().Nullable() {
+		t.Error("count is never NULL")
+	}
+	if !NewAggregate(AggMin, ref(0)).Nullable() {
+		t.Error("min over empty input is NULL, hence nullable")
+	}
+	cs := NewCountStar().WithChildren(nil).(*Aggregate)
+	if !cs.Star || !cs.Resolved() {
+		t.Error("count(*) WithChildren lost star")
+	}
+}
+
+func TestBinaryTypeInference(t *testing.T) {
+	intRef := NewBoundRef(0, "i", types.KindInt, false)
+	floatRef := NewBoundRef(1, "f", types.KindFloat, true)
+	if NewBinary(OpAdd, intRef, intRef).DataType() != types.KindInt {
+		t.Error("int+int must be BIGINT")
+	}
+	if NewBinary(OpAdd, intRef, floatRef).DataType() != types.KindFloat {
+		t.Error("int+float must be DOUBLE")
+	}
+	if NewBinary(OpDiv, intRef, intRef).DataType() != types.KindFloat {
+		t.Error("division is always DOUBLE")
+	}
+	if NewBinary(OpLt, intRef, intRef).DataType() != types.KindBool {
+		t.Error("comparison must be BOOLEAN")
+	}
+	if NewBinary(OpAdd, intRef, floatRef).Nullable() != true {
+		t.Error("nullability must propagate")
+	}
+}

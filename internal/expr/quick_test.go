@@ -1,0 +1,160 @@
+package expr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"skysql/internal/types"
+)
+
+// tvb is a three-valued boolean for quick generation.
+type tvb int8
+
+const (
+	tvFalse tvb = iota
+	tvTrue
+	tvNull
+)
+
+// Generate implements quick.Generator.
+func (tvb) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(tvb(rng.Intn(3)))
+}
+
+func (v tvb) expr() Expr {
+	switch v {
+	case tvTrue:
+		return NewLiteral(types.Bool(true))
+	case tvFalse:
+		return NewLiteral(types.Bool(false))
+	default:
+		return NewLiteral(types.Null)
+	}
+}
+
+func evalTV(t *testing.T, e Expr) tvb {
+	t.Helper()
+	v, err := e.Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IsNull() {
+		return tvNull
+	}
+	if v.AsBool() {
+		return tvTrue
+	}
+	return tvFalse
+}
+
+// TestDeMorganThreeValued checks NOT(a AND b) == NOT a OR NOT b and
+// NOT(a OR b) == NOT a AND NOT b over all three-valued inputs — the
+// algebraic identities SQL three-valued logic must satisfy.
+func TestDeMorganThreeValued(t *testing.T) {
+	f := func(a, b tvb) bool {
+		lhs1 := evalTV(t, NewNot(NewBinary(OpAnd, a.expr(), b.expr())))
+		rhs1 := evalTV(t, NewBinary(OpOr, NewNot(a.expr()), NewNot(b.expr())))
+		lhs2 := evalTV(t, NewNot(NewBinary(OpOr, a.expr(), b.expr())))
+		rhs2 := evalTV(t, NewBinary(OpAnd, NewNot(a.expr()), NewNot(b.expr())))
+		return lhs1 == rhs1 && lhs2 == rhs2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLogicalCommutativity checks AND/OR commute under three-valued logic.
+func TestLogicalCommutativity(t *testing.T) {
+	f := func(a, b tvb) bool {
+		return evalTV(t, NewBinary(OpAnd, a.expr(), b.expr())) == evalTV(t, NewBinary(OpAnd, b.expr(), a.expr())) &&
+			evalTV(t, NewBinary(OpOr, a.expr(), b.expr())) == evalTV(t, NewBinary(OpOr, b.expr(), a.expr()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComparisonNegationDuality checks NOT(a < b) == a >= b for non-null
+// operands, and that both go NULL together when an operand is NULL.
+func TestComparisonNegationDuality(t *testing.T) {
+	f := func(a, b int64, aNull, bNull bool) bool {
+		var av, bv types.Value
+		if aNull {
+			av = types.Null
+		} else {
+			av = types.Int(a)
+		}
+		if bNull {
+			bv = types.Null
+		} else {
+			bv = types.Int(b)
+		}
+		lt := NewBinary(OpLt, NewLiteral(av), NewLiteral(bv))
+		geq := NewBinary(OpGeq, NewLiteral(av), NewLiteral(bv))
+		return evalTV(t, NewNot(lt)) == evalTV(t, geq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArithmeticIdentities checks a + 0 == a, a * 1 == a for integers.
+func TestArithmeticIdentities(t *testing.T) {
+	f := func(a int64) bool {
+		plus, err := NewBinary(OpAdd, NewLiteral(types.Int(a)), NewLiteral(types.Int(0))).Eval(nil)
+		if err != nil {
+			return false
+		}
+		times, err := NewBinary(OpMul, NewLiteral(types.Int(a)), NewLiteral(types.Int(1))).Eval(nil)
+		if err != nil {
+			return false
+		}
+		return plus.AsInt() == a && times.AsInt() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransformPreservesEval checks that an identity Transform yields an
+// expression evaluating to the same value.
+func TestTransformPreservesEval(t *testing.T) {
+	f := func(a, b int64) bool {
+		e := NewBinary(OpAdd, NewLiteral(types.Int(a)),
+			NewBinary(OpMul, NewLiteral(types.Int(b)), NewLiteral(types.Int(3))))
+		out := Transform(e, func(n Expr) Expr { return n })
+		v1, err1 := e.Eval(nil)
+		v2, err2 := out.Eval(nil)
+		return err1 == nil && err2 == nil && v1.Equal(v2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInMatchesDisjunction checks e IN (a,b,c) ≡ e=a OR e=b OR e=c under
+// three-valued logic for random (possibly NULL) integers.
+func TestInMatchesDisjunction(t *testing.T) {
+	mk := func(v int64, null bool) Expr {
+		if null {
+			return NewLiteral(types.Null)
+		}
+		return NewLiteral(types.Int(v % 4)) // small domain forces matches
+	}
+	f := func(e int64, eNull bool, a, b, c int64, aN, bN, cN bool) bool {
+		needle := mk(e, eNull)
+		list := []Expr{mk(a, aN), mk(b, bN), mk(c, cN)}
+		in := NewIn(needle, list, false)
+		or := NewBinary(OpOr,
+			NewBinary(OpOr,
+				NewBinary(OpEq, needle, list[0]),
+				NewBinary(OpEq, needle, list[1])),
+			NewBinary(OpEq, needle, list[2]))
+		return evalTV(t, in) == evalTV(t, or)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"skysql/internal/types"
+)
+
+// SkylineDir is the direction of a skyline dimension: MIN, MAX, or DIFF
+// (paper Definition 3.1).
+type SkylineDir int
+
+// Skyline dimension directions.
+const (
+	SkyMin SkylineDir = iota
+	SkyMax
+	SkyDiff
+)
+
+// String returns the SQL keyword for the direction.
+func (d SkylineDir) String() string {
+	switch d {
+	case SkyMin:
+		return "MIN"
+	case SkyMax:
+		return "MAX"
+	case SkyDiff:
+		return "DIFF"
+	default:
+		return fmt.Sprintf("SkylineDir(%d)", int(d))
+	}
+}
+
+// SkylineDirByName parses MIN/MAX/DIFF (case-insensitive).
+func SkylineDirByName(name string) (SkylineDir, bool) {
+	switch strings.ToUpper(name) {
+	case "MIN":
+		return SkyMin, true
+	case "MAX":
+		return SkyMax, true
+	case "DIFF":
+		return SkyDiff, true
+	}
+	return 0, false
+}
+
+// SkylineDimension pairs an arbitrary child expression (usually a column,
+// but possibly an aggregate per the paper §5.2) with a MIN/MAX/DIFF
+// direction. Storing the dimension as the node's child lets the analyzer's
+// generic expression-resolution machinery resolve it (paper §5.2).
+type SkylineDimension struct {
+	Child Expr
+	Dir   SkylineDir
+}
+
+// NewSkylineDimension creates a skyline dimension expression.
+func NewSkylineDimension(child Expr, dir SkylineDir) *SkylineDimension {
+	return &SkylineDimension{Child: child, Dir: dir}
+}
+
+func (s *SkylineDimension) Eval(row types.Row) (types.Value, error) { return s.Child.Eval(row) }
+
+func (s *SkylineDimension) String() string {
+	return fmt.Sprintf("%s %s", s.Child, s.Dir)
+}
+
+func (s *SkylineDimension) Children() []Expr { return []Expr{s.Child} }
+func (s *SkylineDimension) WithChildren(c []Expr) Expr {
+	return &SkylineDimension{Child: c[0], Dir: s.Dir}
+}
+func (s *SkylineDimension) Resolved() bool       { return s.Child.Resolved() }
+func (s *SkylineDimension) DataType() types.Kind { return s.Child.DataType() }
+func (s *SkylineDimension) Nullable() bool       { return s.Child.Nullable() }

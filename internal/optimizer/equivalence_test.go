@@ -1,0 +1,121 @@
+package optimizer
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"skysql/internal/analyzer"
+	"skysql/internal/catalog"
+	"skysql/internal/cluster"
+	"skysql/internal/physical"
+	"skysql/internal/plan"
+	"skysql/internal/sql"
+	"skysql/internal/types"
+)
+
+// TestOptimizedPlansAreEquivalent executes a battery of queries both with
+// and without the optimizer and requires identical result multisets —
+// the safety property every rewrite rule must preserve.
+func TestOptimizedPlansAreEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cat := catalog.New()
+	listings := make([]types.Row, 400)
+	for i := range listings {
+		var rating types.Value = types.Int(int64(rng.Intn(10)))
+		if rng.Float64() < 0.1 {
+			rating = types.Null
+		}
+		listings[i] = types.Row{
+			types.Int(int64(i)),
+			types.Float(float64(rng.Intn(300))),
+			rating,
+			types.Int(int64(rng.Intn(20))),
+		}
+	}
+	lt, err := catalog.NewTable("listings", types.NewSchema(
+		types.Field{Name: "id", Type: types.KindInt},
+		types.Field{Name: "price", Type: types.KindFloat},
+		types.Field{Name: "rating", Type: types.KindInt, Nullable: true},
+		types.Field{Name: "host", Type: types.KindInt},
+	), listings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Register(lt)
+	hosts := make([]types.Row, 20)
+	for i := range hosts {
+		hosts[i] = types.Row{types.Int(int64(i)), types.Int(int64(rng.Intn(5)))}
+	}
+	ht, err := catalog.NewTable("hosts", types.NewSchema(
+		types.Field{Name: "host", Type: types.KindInt},
+		types.Field{Name: "tier", Type: types.KindInt},
+	), hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Register(ht)
+
+	queries := []string{
+		"SELECT id, price FROM listings WHERE price > 100 AND TRUE",
+		"SELECT * FROM (SELECT id, price FROM listings WHERE price > 50) WHERE price < 200",
+		"SELECT price FROM listings SKYLINE OF price MIN",
+		"SELECT id, price FROM listings SKYLINE OF COMPLETE price MIN, id MAX",
+		"SELECT id FROM listings SKYLINE OF price MIN, host MAX",
+		`SELECT l.id, l.price, l.host FROM listings l LEFT OUTER JOIN hosts h ON l.host = h.host
+			SKYLINE OF l.price MIN, l.host MAX`,
+		`SELECT l.id, l.price, h.tier FROM listings l JOIN hosts h ON l.host = h.host
+			WHERE 1 + 1 = 2 AND l.price > 10`,
+		"SELECT host, count(*) AS n FROM listings GROUP BY host HAVING count(*) > 10 ORDER BY n DESC",
+		"SELECT DISTINCT host FROM listings WHERE price > 150 ORDER BY host LIMIT 7",
+		"SELECT id, price FROM listings WHERE rating IS NOT NULL SKYLINE OF price MIN, rating MAX",
+	}
+	an := analyzer.New(cat)
+	opt := New()
+	for _, q := range queries {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		built, err := plan.Build(stmt)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		resolved, err := an.Analyze(built)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		optimized := opt.Optimize(resolved)
+
+		run := func(n plan.Node) []string {
+			op, err := physical.Plan(n, physical.Options{})
+			if err != nil {
+				t.Fatalf("%q: %v", q, err)
+			}
+			rows, err := physical.Execute(op, cluster.NewContext(3))
+			if err != nil {
+				t.Fatalf("%q: %v", q, err)
+			}
+			out := make([]string, len(rows))
+			for i, r := range rows {
+				out[i] = r.String()
+			}
+			// ORDER BY queries must preserve order; others compare as sets.
+			if len(stmt.OrderBy) == 0 {
+				sort.Strings(out)
+			}
+			return out
+		}
+		plainRows := run(resolved)
+		optRows := run(optimized)
+		if len(plainRows) != len(optRows) {
+			t.Fatalf("%q: row count %d != %d\nunoptimized:\n%s\noptimized:\n%s",
+				q, len(plainRows), len(optRows), plan.Format(resolved), plan.Format(optimized))
+		}
+		for i := range plainRows {
+			if plainRows[i] != optRows[i] {
+				t.Fatalf("%q: row %d differs: %s vs %s", q, i, plainRows[i], optRows[i])
+			}
+		}
+	}
+}

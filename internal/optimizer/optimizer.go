@@ -1,0 +1,309 @@
+// Package optimizer is the rule-based logical optimizer, the engine's
+// Catalyst stand-in. It ships generic rules (constant folding, filter
+// combination, filter pushdown, projection collapsing) plus the two
+// skyline-specific optimizations of the paper's §5.4:
+//
+//   - a skyline over a single MIN/MAX dimension is rewritten into an O(n)
+//     extremum filter (the "scalar subquery" variant the paper prefers
+//     over sort-and-take);
+//   - a skyline whose dimensions all come from the preserved side of a
+//     non-reductive join is pushed below the join, shrinking the input of
+//     both the skyline and the join.
+//
+// All rules operate on resolved plans and preserve resolution.
+package optimizer
+
+import (
+	"skysql/internal/expr"
+	"skysql/internal/plan"
+)
+
+// Rule is one rewrite. Apply must return the node unchanged when the rule
+// does not match.
+type Rule struct {
+	Name  string
+	Apply func(plan.Node) plan.Node
+}
+
+// Optimizer applies a batch of rules to a fixpoint.
+type Optimizer struct {
+	rules    []Rule
+	maxIters int
+}
+
+// New creates an optimizer with the default rule batch.
+func New() *Optimizer {
+	return &Optimizer{
+		rules: []Rule{
+			{Name: "EliminateSubqueryAliases", Apply: eliminateSubqueryAliases},
+			{Name: "ConstantFolding", Apply: constantFolding},
+			{Name: "SimplifyPredicates", Apply: simplifyPredicates},
+			{Name: "CombineFilters", Apply: combineFilters},
+			{Name: "PushFilterBelowProject", Apply: pushFilterBelowProject},
+			{Name: "CollapseProjects", Apply: collapseProjects},
+			{Name: "SingleDimensionSkyline", Apply: singleDimensionSkyline},
+			{Name: "SkylineJoinPushdown", Apply: skylineJoinPushdown},
+			{Name: "RemoveNoopProject", Apply: removeNoopProject},
+		},
+		maxIters: 10,
+	}
+}
+
+// Rules returns the names of the installed rules, for EXPLAIN output.
+func (o *Optimizer) Rules() []string {
+	names := make([]string, len(o.rules))
+	for i, r := range o.rules {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// Optimize rewrites the plan until no rule changes it (or the iteration
+// cap is hit).
+func (o *Optimizer) Optimize(n plan.Node) plan.Node {
+	for i := 0; i < o.maxIters; i++ {
+		before := plan.Format(n)
+		for _, r := range o.rules {
+			n = plan.TransformUp(n, r.Apply)
+		}
+		if plan.Format(n) == before {
+			break
+		}
+	}
+	return n
+}
+
+// mapExprs rewrites every expression held by a node.
+func mapExprs(n plan.Node, fn func(expr.Expr) expr.Expr) plan.Node {
+	switch p := n.(type) {
+	case *plan.Project:
+		es := make([]expr.Expr, len(p.Exprs))
+		for i, e := range p.Exprs {
+			es[i] = fn(e)
+		}
+		return plan.NewProject(es, p.Child)
+	case *plan.Filter:
+		return plan.NewFilter(fn(p.Cond), p.Child)
+	case *plan.Join:
+		if p.Cond == nil {
+			return p
+		}
+		j := plan.NewJoin(p.Type, p.Left, p.Right, fn(p.Cond))
+		j.Using = p.Using
+		return j
+	case *plan.Aggregate:
+		gs := make([]expr.Expr, len(p.Groups))
+		for i, e := range p.Groups {
+			gs[i] = fn(e)
+		}
+		os := make([]expr.Expr, len(p.Outputs))
+		for i, e := range p.Outputs {
+			os[i] = fn(e)
+		}
+		return plan.NewAggregate(gs, os, p.Child)
+	case *plan.Sort:
+		orders := make([]plan.SortOrder, len(p.Orders))
+		for i, o := range p.Orders {
+			orders[i] = plan.SortOrder{E: fn(o.E), Desc: o.Desc}
+		}
+		return plan.NewSort(orders, p.Child)
+	case *plan.SkylineOperator:
+		dims := make([]*expr.SkylineDimension, len(p.Dims))
+		for i, d := range p.Dims {
+			dims[i] = expr.NewSkylineDimension(fn(d.Child), d.Dir)
+		}
+		return plan.NewSkylineOperator(p.Distinct, p.Complete, dims, p.Child)
+	}
+	return n
+}
+
+// eliminateSubqueryAliases removes SubqueryAlias nodes: after analysis
+// they only carry naming information and would otherwise block filter and
+// projection merging (the same rule exists in Catalyst).
+func eliminateSubqueryAliases(n plan.Node) plan.Node {
+	if sa, ok := n.(*plan.SubqueryAlias); ok {
+		return sa.Child
+	}
+	return n
+}
+
+// constantFolding evaluates literal-only subtrees at plan time.
+func constantFolding(n plan.Node) plan.Node {
+	return mapExprs(n, foldExpr)
+}
+
+func foldExpr(e expr.Expr) expr.Expr {
+	return expr.Transform(e, func(sub expr.Expr) expr.Expr {
+		switch sub.(type) {
+		case *expr.Binary, *expr.Not, *expr.Negate, *expr.Func, *expr.IsNull:
+		default:
+			return sub
+		}
+		for _, c := range sub.Children() {
+			if _, ok := c.(*expr.Literal); !ok {
+				return sub
+			}
+		}
+		v, err := sub.Eval(nil)
+		if err != nil {
+			return sub
+		}
+		return expr.NewLiteral(v)
+	})
+}
+
+// simplifyPredicates applies boolean identities: TRUE AND x → x,
+// FALSE OR x → x, TRUE OR x → TRUE, FALSE AND x → FALSE, NOT NOT x → x.
+func simplifyPredicates(n plan.Node) plan.Node {
+	return mapExprs(n, func(e expr.Expr) expr.Expr {
+		return expr.Transform(e, simplifyOne)
+	})
+}
+
+func simplifyOne(e expr.Expr) expr.Expr {
+	switch s := e.(type) {
+	case *expr.Binary:
+		if s.Op != expr.OpAnd && s.Op != expr.OpOr {
+			return e
+		}
+		lv, lok := literalBool(s.L)
+		rv, rok := literalBool(s.R)
+		switch {
+		case lok && s.Op == expr.OpAnd && lv:
+			return s.R
+		case rok && s.Op == expr.OpAnd && rv:
+			return s.L
+		case lok && s.Op == expr.OpOr && !lv:
+			return s.R
+		case rok && s.Op == expr.OpOr && !rv:
+			return s.L
+		case lok && s.Op == expr.OpAnd && !lv:
+			return s.L // FALSE
+		case rok && s.Op == expr.OpAnd && !rv && !s.L.Nullable():
+			return s.R // FALSE (safe: left cannot be NULL)
+		case lok && s.Op == expr.OpOr && lv:
+			return s.L // TRUE
+		case rok && s.Op == expr.OpOr && rv && !s.L.Nullable():
+			return s.R // TRUE
+		}
+	case *expr.Not:
+		if inner, ok := s.Child.(*expr.Not); ok {
+			return inner.Child
+		}
+	}
+	return e
+}
+
+func literalBool(e expr.Expr) (bool, bool) {
+	l, ok := e.(*expr.Literal)
+	if !ok || l.Value.Kind() != typesBool {
+		return false, false
+	}
+	return l.Value.AsBool(), true
+}
+
+// combineFilters merges adjacent filters into one conjunction.
+func combineFilters(n plan.Node) plan.Node {
+	f, ok := n.(*plan.Filter)
+	if !ok {
+		return n
+	}
+	inner, ok := f.Child.(*plan.Filter)
+	if !ok {
+		return n
+	}
+	return plan.NewFilter(expr.NewBinary(expr.OpAnd, inner.Cond, f.Cond), inner.Child)
+}
+
+// pushFilterBelowProject moves Filter(Project(x)) to Project(Filter(x)),
+// substituting projection expressions into the predicate. Skipped when the
+// predicate would then contain aggregate calls.
+func pushFilterBelowProject(n plan.Node) plan.Node {
+	f, ok := n.(*plan.Filter)
+	if !ok {
+		return n
+	}
+	proj, ok := f.Child.(*plan.Project)
+	if !ok {
+		return n
+	}
+	cond, ok := substituteRefs(f.Cond, proj.Exprs)
+	if !ok || expr.ContainsAggregate(cond) {
+		return n
+	}
+	return plan.NewProject(proj.Exprs, plan.NewFilter(cond, proj.Child))
+}
+
+// collapseProjects merges Project(Project(x)) into a single projection.
+func collapseProjects(n plan.Node) plan.Node {
+	outer, ok := n.(*plan.Project)
+	if !ok {
+		return n
+	}
+	inner, ok := outer.Child.(*plan.Project)
+	if !ok {
+		return n
+	}
+	es := make([]expr.Expr, len(outer.Exprs))
+	for i, e := range outer.Exprs {
+		sub, ok := substituteRefs(e, inner.Exprs)
+		if !ok {
+			return n
+		}
+		// Preserve the outer output name.
+		name := expr.OutputName(e)
+		if expr.OutputName(sub) != name {
+			sub = expr.NewAlias(unalias(sub), name)
+		}
+		es[i] = sub
+	}
+	return plan.NewProject(es, inner.Child)
+}
+
+// removeNoopProject deletes projections that emit exactly their input.
+func removeNoopProject(n plan.Node) plan.Node {
+	p, ok := n.(*plan.Project)
+	if !ok {
+		return n
+	}
+	child := p.Child.Schema()
+	if len(p.Exprs) != child.Len() {
+		return n
+	}
+	for i, e := range p.Exprs {
+		b, ok := unalias(e).(*expr.BoundRef)
+		if !ok || b.Index != i {
+			return n
+		}
+		if expr.OutputName(e) != child.Fields[i].Name {
+			return n
+		}
+	}
+	return p.Child
+}
+
+// substituteRefs replaces bound references in e with the corresponding
+// projection expressions (unaliased), re-rooting e against the
+// projection's input. Returns false when an index is out of range.
+func substituteRefs(e expr.Expr, items []expr.Expr) (expr.Expr, bool) {
+	ok := true
+	out := expr.Transform(e, func(sub expr.Expr) expr.Expr {
+		b, isRef := sub.(*expr.BoundRef)
+		if !isRef {
+			return sub
+		}
+		if b.Index < 0 || b.Index >= len(items) {
+			ok = false
+			return sub
+		}
+		return unalias(items[b.Index])
+	})
+	return out, ok
+}
+
+func unalias(e expr.Expr) expr.Expr {
+	if a, ok := e.(*expr.Alias); ok {
+		return a.Child
+	}
+	return e
+}

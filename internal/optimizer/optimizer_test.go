@@ -1,0 +1,249 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"skysql/internal/analyzer"
+	"skysql/internal/catalog"
+	"skysql/internal/plan"
+	"skysql/internal/sql"
+	"skysql/internal/types"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	listings, err := catalog.NewTable("listings", types.NewSchema(
+		types.Field{Name: "id", Type: types.KindInt},
+		types.Field{Name: "price", Type: types.KindFloat},
+		types.Field{Name: "rating", Type: types.KindInt},
+		types.Field{Name: "host", Type: types.KindInt},
+	), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Register(listings)
+	nullable, err := catalog.NewTable("sparse", types.NewSchema(
+		types.Field{Name: "id", Type: types.KindInt},
+		types.Field{Name: "v", Type: types.KindFloat, Nullable: true},
+	), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Register(nullable)
+	hosts, err := catalog.NewTable("hosts", types.NewSchema(
+		types.Field{Name: "host", Type: types.KindInt},
+		types.Field{Name: "name", Type: types.KindString},
+	), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Register(hosts)
+	return cat
+}
+
+func optimize(t *testing.T, q string) plan.Node {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := plan.Build(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := analyzer.New(testCatalog(t)).Analyze(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := New().Optimize(resolved)
+	if !plan.TreeResolved(out) {
+		t.Fatalf("optimizer broke resolution:\n%s", plan.Format(out))
+	}
+	return out
+}
+
+func TestConstantFolding(t *testing.T) {
+	n := optimize(t, "SELECT price FROM listings WHERE price > 10 + 20 * 2")
+	out := plan.Format(n)
+	if !strings.Contains(out, "50") || strings.Contains(out, "20") {
+		t.Errorf("constants not folded:\n%s", out)
+	}
+}
+
+func TestSimplifyTrueAnd(t *testing.T) {
+	n := optimize(t, "SELECT price FROM listings WHERE TRUE AND price > 1")
+	out := plan.Format(n)
+	if strings.Contains(out, "true AND") || strings.Contains(out, "(true") {
+		t.Errorf("TRUE AND not simplified:\n%s", out)
+	}
+}
+
+func TestCombineFilters(t *testing.T) {
+	// Derived table with its own filter + outer filter: after pushdown
+	// both predicates must live in a single Filter node.
+	n := optimize(t, "SELECT * FROM (SELECT * FROM listings WHERE price > 1) WHERE rating > 2")
+	count := 0
+	plan.Walk(n, func(nd plan.Node) {
+		if _, ok := nd.(*plan.Filter); ok {
+			count++
+		}
+	})
+	if count != 1 {
+		t.Errorf("filters = %d, want 1:\n%s", count, plan.Format(n))
+	}
+}
+
+func TestNoopProjectRemoved(t *testing.T) {
+	n := optimize(t, "SELECT id, price, rating, host FROM listings")
+	if _, ok := n.(*plan.Scan); !ok {
+		t.Errorf("identity projection not removed:\n%s", plan.Format(n))
+	}
+}
+
+func TestSingleDimSkylineRewrite(t *testing.T) {
+	n := optimize(t, "SELECT price FROM listings SKYLINE OF price MIN")
+	found := false
+	plan.Walk(n, func(nd plan.Node) {
+		if x, ok := nd.(*plan.ExtremumFilter); ok {
+			found = true
+			if x.Max {
+				t.Error("MIN skyline rewrote to MAX extremum")
+			}
+		}
+		if _, ok := nd.(*plan.SkylineOperator); ok {
+			t.Error("skyline operator should be gone")
+		}
+	})
+	if !found {
+		t.Errorf("no ExtremumFilter:\n%s", plan.Format(n))
+	}
+}
+
+func TestSingleDimSkylineMaxAndDistinct(t *testing.T) {
+	n := optimize(t, "SELECT rating FROM listings SKYLINE OF DISTINCT rating MAX")
+	out := plan.Format(n)
+	if !strings.Contains(out, "ExtremumFilter MAX") || !strings.Contains(out, "Limit 1") {
+		t.Errorf("DISTINCT single-dim rewrite wrong:\n%s", out)
+	}
+}
+
+func TestSingleDimSkylineNotRewrittenWhenNullable(t *testing.T) {
+	// Under incomplete semantics a NULL dim belongs to the skyline; the
+	// extremum rewrite would drop it, so the rule must not fire.
+	n := optimize(t, "SELECT v FROM sparse SKYLINE OF v MIN")
+	found := false
+	plan.Walk(n, func(nd plan.Node) {
+		if _, ok := nd.(*plan.SkylineOperator); ok {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("nullable single-dim skyline must be preserved:\n%s", plan.Format(n))
+	}
+}
+
+func TestSingleDimSkylineRewrittenWithCompleteKeyword(t *testing.T) {
+	n := optimize(t, "SELECT v FROM sparse SKYLINE OF COMPLETE v MIN")
+	found := false
+	plan.Walk(n, func(nd plan.Node) {
+		if _, ok := nd.(*plan.ExtremumFilter); ok {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("COMPLETE must enable the extremum rewrite:\n%s", plan.Format(n))
+	}
+}
+
+func TestSkylineJoinPushdown(t *testing.T) {
+	// Skyline dims all from the preserved (left) side of a left outer
+	// join: the skyline must move below the join (§5.4).
+	n := optimize(t, `SELECT l.id, l.price, l.rating, h.name
+		FROM listings l LEFT OUTER JOIN hosts h ON l.host = h.host
+		SKYLINE OF l.price MIN, l.rating MAX`)
+	var sawJoinAboveSkyline bool
+	plan.Walk(n, func(nd plan.Node) {
+		if j, ok := nd.(*plan.Join); ok {
+			plan.Walk(j.Left, func(inner plan.Node) {
+				if _, ok := inner.(*plan.SkylineOperator); ok {
+					sawJoinAboveSkyline = true
+				}
+			})
+		}
+	})
+	if !sawJoinAboveSkyline {
+		t.Errorf("skyline not pushed below the join:\n%s", plan.Format(n))
+	}
+}
+
+func TestSkylineJoinPushdownBlockedForInnerJoin(t *testing.T) {
+	// Inner joins may drop left tuples (reductive); without constraint
+	// metadata the rule must not fire.
+	n := optimize(t, `SELECT l.id, l.price, l.rating, h.name
+		FROM listings l JOIN hosts h ON l.host = h.host
+		SKYLINE OF l.price MIN, l.rating MAX`)
+	plan.Walk(n, func(nd plan.Node) {
+		if j, ok := nd.(*plan.Join); ok {
+			plan.Walk(j.Left, func(inner plan.Node) {
+				if _, ok := inner.(*plan.SkylineOperator); ok {
+					t.Errorf("skyline pushed below a reductive join:\n%s", plan.Format(n))
+				}
+			})
+		}
+	})
+}
+
+func TestSkylineJoinPushdownBlockedForRightSideDims(t *testing.T) {
+	n := optimize(t, `SELECT l.id, l.price, h.host, h.name
+		FROM listings l LEFT OUTER JOIN hosts h ON l.host = h.host
+		SKYLINE OF l.price MIN, h.host MAX`)
+	plan.Walk(n, func(nd plan.Node) {
+		if j, ok := nd.(*plan.Join); ok {
+			plan.Walk(j.Left, func(inner plan.Node) {
+				if _, ok := inner.(*plan.SkylineOperator); ok {
+					t.Errorf("skyline with right-side dims must stay above the join:\n%s", plan.Format(n))
+				}
+			})
+		}
+	})
+}
+
+func TestSkylineJoinPushdownBlockedForDistinct(t *testing.T) {
+	n := optimize(t, `SELECT l.id, l.price, l.rating, h.name
+		FROM listings l LEFT OUTER JOIN hosts h ON l.host = h.host
+		SKYLINE OF DISTINCT l.price MIN, l.rating MAX`)
+	plan.Walk(n, func(nd plan.Node) {
+		if j, ok := nd.(*plan.Join); ok {
+			plan.Walk(j.Left, func(inner plan.Node) {
+				if _, ok := inner.(*plan.SkylineOperator); ok {
+					t.Errorf("DISTINCT skyline must not be pushed:\n%s", plan.Format(n))
+				}
+			})
+		}
+	})
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	q := `SELECT l.id, l.price, l.rating, h.name
+		FROM listings l LEFT OUTER JOIN hosts h ON l.host = h.host
+		WHERE l.price > 1 + 1
+		SKYLINE OF l.price MIN, l.rating MAX ORDER BY l.id LIMIT 5`
+	once := optimize(t, q)
+	twice := New().Optimize(once)
+	if plan.Format(once) != plan.Format(twice) {
+		t.Errorf("optimizer not idempotent:\n%s\nvs\n%s", plan.Format(once), plan.Format(twice))
+	}
+}
+
+func TestRulesListed(t *testing.T) {
+	names := New().Rules()
+	want := map[string]bool{"SingleDimensionSkyline": true, "SkylineJoinPushdown": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing rules: %v (have %v)", want, names)
+	}
+}

@@ -1,0 +1,136 @@
+package optimizer
+
+import (
+	"skysql/internal/expr"
+	"skysql/internal/plan"
+	"skysql/internal/types"
+)
+
+// typesBool is a local alias so optimizer.go stays import-light.
+const typesBool = types.KindBool
+
+// singleDimensionSkyline implements the first §5.4 optimization: a skyline
+// over a single MIN (or MAX) dimension equals the set of tuples attaining
+// the minimum (maximum) of that dimension. Of the two rewrites the paper
+// discusses — sort-and-take O(n log n) versus scalar subquery + selection
+// O(n) — it opts for the latter; ExtremumFilter is exactly that plan: one
+// pass computing the extremum, one pass filtering.
+//
+// The rewrite requires complete semantics for the dimension: under the
+// incomplete definition a tuple with a NULL dimension is incomparable with
+// everything and belongs to the skyline, which a plain extremum filter
+// would drop. It therefore fires only when the node is COMPLETE or the
+// dimension is non-nullable (mirroring Listing 8's test).
+func singleDimensionSkyline(n plan.Node) plan.Node {
+	s, ok := n.(*plan.SkylineOperator)
+	if !ok || len(s.Dims) != 1 {
+		return n
+	}
+	d := s.Dims[0]
+	if d.Dir == expr.SkyDiff {
+		return n // DIFF-only skylines keep everything; not an extremum
+	}
+	if !s.Complete && d.Child.Nullable() {
+		return n
+	}
+	var out plan.Node = plan.NewExtremumFilter(d.Child, d.Dir == expr.SkyMax, s.Child)
+	if s.Distinct {
+		// DISTINCT keeps a single (arbitrary) tuple among ties.
+		out = plan.NewLimit(1, out)
+	}
+	return out
+}
+
+// skylineJoinPushdown implements the second §5.4 optimization (from the
+// original skyline paper, with non-reductiveness per Carey & Kossmann):
+// when the skyline's dimensions all come from the preserved side of a
+// non-reductive join, the skyline can be computed before the join. We
+// recognize left-outer joins as non-reductive for their left side — every
+// left tuple survives the join at least once by construction, which is the
+// guarantee the transformation needs. (Inner joins would additionally need
+// foreign-key constraints, which the catalog does not model.)
+//
+// The skyline may be separated from the join by a pure column-selection
+// projection; in that case the dimensions are remapped through it.
+// DISTINCT skylines are not pushed: the join may re-multiply rows that the
+// DISTINCT skyline was supposed to collapse.
+func skylineJoinPushdown(n plan.Node) plan.Node {
+	s, ok := n.(*plan.SkylineOperator)
+	if !ok || s.Distinct {
+		return n
+	}
+
+	// Case 1: skyline directly above the join.
+	if j, ok := s.Child.(*plan.Join); ok {
+		return pushSkylineIntoJoin(s, nil, j)
+	}
+	// Case 2: skyline above a pure column-selection projection above a join.
+	if proj, ok := s.Child.(*plan.Project); ok {
+		if j, ok := proj.Child.(*plan.Join); ok && isColumnSelection(proj.Exprs) {
+			return pushSkylineIntoJoin(s, proj, j)
+		}
+	}
+	return n
+}
+
+// pushSkylineIntoJoin rewrites Skyline(Project?(Join(L,R))) into
+// Project?(Join(Skyline'(L), R)) when legal, where Skyline' has its
+// dimensions re-bound against L.
+func pushSkylineIntoJoin(s *plan.SkylineOperator, proj *plan.Project, j *plan.Join) plan.Node {
+	if j.Type != plan.LeftOuterJoin && j.Type != plan.LeftSemiJoin && j.Type != plan.LeftAntiJoin {
+		return s
+	}
+	leftWidth := j.Left.Schema().Len()
+
+	// Remap each dimension through the optional projection onto the join
+	// output, then verify it references only the left side.
+	newDims := make([]*expr.SkylineDimension, len(s.Dims))
+	for i, d := range s.Dims {
+		e := d.Child
+		if proj != nil {
+			sub, ok := substituteRefs(e, proj.Exprs)
+			if !ok {
+				return s
+			}
+			e = sub
+		}
+		if !refsWithin(e, leftWidth) {
+			return s
+		}
+		newDims[i] = expr.NewSkylineDimension(e, d.Dir)
+	}
+	newLeft := plan.NewSkylineOperator(s.Distinct, s.Complete, newDims, j.Left)
+	newJoin := plan.NewJoin(j.Type, newLeft, j.Right, j.Cond)
+	if proj == nil {
+		return newJoin
+	}
+	return plan.NewProject(proj.Exprs, newJoin)
+}
+
+// isColumnSelection reports whether every projection item is a bare bound
+// reference (possibly aliased) — i.e. the projection only selects and
+// renames columns.
+func isColumnSelection(items []expr.Expr) bool {
+	for _, it := range items {
+		if _, ok := unalias(it).(*expr.BoundRef); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// refsWithin reports whether every bound reference in e is < width and at
+// least one reference exists.
+func refsWithin(e expr.Expr, width int) bool {
+	ok := true
+	seen := false
+	expr.Walk(e, func(sub expr.Expr) {
+		if b, isRef := sub.(*expr.BoundRef); isRef {
+			seen = true
+			if b.Index >= width {
+				ok = false
+			}
+		}
+	})
+	return ok && seen
+}

@@ -1,0 +1,344 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+
+	"skysql/internal/catalog"
+	"skysql/internal/cluster"
+	"skysql/internal/expr"
+	"skysql/internal/types"
+)
+
+// ScanExec reads a table, splitting it into one partition per executor
+// (Spark's default even distribution, §5.5).
+type ScanExec struct {
+	Table  *catalog.Table
+	schema *types.Schema
+}
+
+// NewScanExec creates a table scan with the given (qualified) schema.
+func NewScanExec(t *catalog.Table, schema *types.Schema) *ScanExec {
+	return &ScanExec{Table: t, schema: schema}
+}
+
+func (s *ScanExec) Schema() *types.Schema { return s.schema }
+func (s *ScanExec) Children() []Operator  { return nil }
+func (s *ScanExec) String() string {
+	return fmt.Sprintf("ScanExec %s (%d rows)", s.Table.Name, len(s.Table.Rows))
+}
+
+func (s *ScanExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in := cluster.NewDataset(s.Table.Rows)
+	out, err := ctx.Exchange(in, cluster.Unspecified, nil)
+	if err != nil {
+		return nil, err
+	}
+	charge(ctx, out)
+	return out, nil
+}
+
+// OneRowExec produces one empty row (FROM-less SELECT).
+type OneRowExec struct{}
+
+func (o *OneRowExec) Schema() *types.Schema { return types.NewSchema() }
+func (o *OneRowExec) Children() []Operator  { return nil }
+func (o *OneRowExec) String() string        { return "OneRowExec" }
+func (o *OneRowExec) Execute(*cluster.Context) (*cluster.Dataset, error) {
+	return cluster.NewDataset([]types.Row{{}}), nil
+}
+
+// FilterExec keeps rows satisfying the predicate.
+type FilterExec struct {
+	Cond  expr.Expr
+	Child Operator
+}
+
+func (f *FilterExec) Schema() *types.Schema { return f.Child.Schema() }
+func (f *FilterExec) Children() []Operator  { return []Operator{f.Child} }
+func (f *FilterExec) String() string        { return "FilterExec " + f.Cond.String() }
+
+func (f *FilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := f.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.MapPartitions(in, func(_ int, part []types.Row) ([]types.Row, error) {
+		var keep []types.Row
+		for _, row := range part {
+			ok, err := expr.EvalPredicate(f.Cond, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keep = append(keep, row)
+			}
+		}
+		return keep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	charge(ctx, out, in)
+	return out, nil
+}
+
+// ProjectExec evaluates projection expressions over each row.
+type ProjectExec struct {
+	Exprs  []expr.Expr
+	Child  Operator
+	schema *types.Schema
+}
+
+// NewProjectExec creates a projection with a precomputed output schema.
+func NewProjectExec(exprs []expr.Expr, schema *types.Schema, child Operator) *ProjectExec {
+	return &ProjectExec{Exprs: exprs, schema: schema, Child: child}
+}
+
+func (p *ProjectExec) Schema() *types.Schema { return p.schema }
+func (p *ProjectExec) Children() []Operator  { return []Operator{p.Child} }
+func (p *ProjectExec) String() string        { return "ProjectExec [" + exprStrings(p.Exprs) + "]" }
+
+func (p *ProjectExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := p.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.MapPartitions(in, func(_ int, part []types.Row) ([]types.Row, error) {
+		res := make([]types.Row, len(part))
+		for ri, row := range part {
+			nr := make(types.Row, len(p.Exprs))
+			for i, e := range p.Exprs {
+				v, err := e.Eval(row)
+				if err != nil {
+					return nil, err
+				}
+				nr[i] = v
+			}
+			res[ri] = nr
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	charge(ctx, out, in)
+	return out, nil
+}
+
+// LimitExec keeps the first N rows (gathering to one partition).
+type LimitExec struct {
+	N     int64
+	Child Operator
+}
+
+func (l *LimitExec) Schema() *types.Schema { return l.Child.Schema() }
+func (l *LimitExec) Children() []Operator  { return []Operator{l.Child} }
+func (l *LimitExec) String() string        { return fmt.Sprintf("LimitExec %d", l.N) }
+
+func (l *LimitExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := l.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows := in.Gather()
+	if int64(len(rows)) > l.N {
+		rows = rows[:l.N]
+	}
+	out := cluster.NewDataset(rows)
+	charge(ctx, out, in)
+	return out, nil
+}
+
+// SortExec totally orders the input (gathering to one partition). ASC
+// places NULLs first, DESC places them last, matching Spark defaults.
+type SortExec struct {
+	Orders []SortKey
+	Child  Operator
+}
+
+// SortKey is one physical sort key.
+type SortKey struct {
+	E    expr.Expr
+	Desc bool
+}
+
+func (s *SortExec) Schema() *types.Schema { return s.Child.Schema() }
+func (s *SortExec) Children() []Operator  { return []Operator{s.Child} }
+func (s *SortExec) String() string {
+	parts := make([]string, len(s.Orders))
+	for i, o := range s.Orders {
+		dir := "ASC"
+		if o.Desc {
+			dir = "DESC"
+		}
+		parts[i] = o.E.String() + " " + dir
+	}
+	return "SortExec [" + joinStrings(parts) + "]"
+}
+
+func joinStrings(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+func (s *SortExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := s.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows := in.Gather()
+	keys := make([][]types.Value, len(rows))
+	for i, row := range rows {
+		ks := make([]types.Value, len(s.Orders))
+		for k, o := range s.Orders {
+			v, err := o.E.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			ks[k] = v
+		}
+		keys[i] = ks
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, o := range s.Orders {
+			va, vb := keys[idx[a]][k], keys[idx[b]][k]
+			c, comparable := compareWithNulls(va, vb, o.Desc)
+			if !comparable {
+				sortErr = fmt.Errorf("physical: cannot sort %s against %s", va.Kind(), vb.Kind())
+				return false
+			}
+			if c != 0 {
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	sorted := make([]types.Row, len(rows))
+	for i, j := range idx {
+		sorted[i] = rows[j]
+	}
+	out := cluster.NewDataset(sorted)
+	charge(ctx, out, in)
+	return out, nil
+}
+
+// compareWithNulls orders values treating NULL as smallest (so NULLs come
+// first ASC and last DESC).
+func compareWithNulls(a, b types.Value, _ bool) (int, bool) {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0, true
+	case a.IsNull():
+		return -1, true
+	case b.IsNull():
+		return 1, true
+	}
+	return types.CompareValues(a, b)
+}
+
+// DistinctExec removes duplicate rows.
+type DistinctExec struct {
+	Child Operator
+}
+
+func (d *DistinctExec) Schema() *types.Schema { return d.Child.Schema() }
+func (d *DistinctExec) Children() []Operator  { return []Operator{d.Child} }
+func (d *DistinctExec) String() string        { return "DistinctExec" }
+
+func (d *DistinctExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := d.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var rows []types.Row
+	for _, row := range in.Gather() {
+		key := rowKey(row)
+		if !seen[key] {
+			seen[key] = true
+			rows = append(rows, row)
+		}
+	}
+	out := cluster.NewDataset(rows)
+	charge(ctx, out, in)
+	return out, nil
+}
+
+func rowKey(row types.Row) string {
+	key := ""
+	for _, v := range row {
+		key += v.GroupKey() + "\x1f"
+	}
+	return key
+}
+
+// ExchangeExec repartitions its child under a distribution; it is the
+// physical form of Spark's shuffle and carries the distributions the
+// skyline operators require (§5.5, §5.7).
+type ExchangeExec struct {
+	Dist cluster.Distribution
+	Keys []expr.Expr // for NullBitmap / Hash / Grid / Angle
+	// Minimize flags the orientation of each key for the Grid and Angle
+	// distributions (true = MIN dimension).
+	Minimize []bool
+	Child    Operator
+}
+
+func (e *ExchangeExec) Schema() *types.Schema { return e.Child.Schema() }
+func (e *ExchangeExec) Children() []Operator  { return []Operator{e.Child} }
+func (e *ExchangeExec) String() string {
+	s := "ExchangeExec " + e.Dist.String()
+	if len(e.Keys) > 0 {
+		s += " [" + exprStrings(e.Keys) + "]"
+	}
+	return s
+}
+
+func (e *ExchangeExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := e.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var key cluster.KeyFunc
+	if len(e.Keys) > 0 {
+		key = func(row types.Row) (types.Row, error) {
+			out := make(types.Row, len(e.Keys))
+			for i, k := range e.Keys {
+				v, err := k.Eval(row)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
+	}
+	var out *cluster.Dataset
+	if e.Dist == cluster.Grid || e.Dist == cluster.Angle || e.Dist == cluster.Zorder {
+		out, err = ctx.ExchangePartitioned(in, e.Dist, key, e.Minimize)
+	} else {
+		out, err = ctx.Exchange(in, e.Dist, key)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package physical
+
+import (
+	"testing"
+
+	"skysql/internal/cluster"
+	"skysql/internal/expr"
+	"skysql/internal/plan"
+	"skysql/internal/skyline"
+	"skysql/internal/types"
+)
+
+// TestOperatorInterfaceContracts sweeps every physical operator: String
+// must be non-empty, Schema callable, Children consistent, and Execute
+// must run on a fresh context.
+func TestOperatorInterfaceContracts(t *testing.T) {
+	tab := intTable(t, "t", []string{"a", "b"}, [][]int64{{1, 2}, {3, 4}, {2, 1}})
+	scan := scanOf(t, tab)
+	refA := expr.NewBoundRef(0, "a", types.KindInt, false)
+	refB := expr.NewBoundRef(1, "b", types.KindInt, false)
+	dims := []BoundDim{{E: refA, Dir: skyline.Min}, {E: refB, Dir: skyline.Max}}
+	twoCol := types.NewSchema(types.Field{Name: "a"}, types.Field{Name: "b"})
+	fourCol := types.NewSchema(
+		types.Field{Name: "a"}, types.Field{Name: "b"},
+		types.Field{Name: "a"}, types.Field{Name: "b"},
+	)
+
+	ops := []Operator{
+		scan,
+		&OneRowExec{},
+		&FilterExec{Cond: expr.NewBinary(expr.OpGt, refA, expr.NewLiteral(types.Int(0))), Child: scan},
+		NewProjectExec([]expr.Expr{refA}, types.NewSchema(types.Field{Name: "a"}), scan),
+		&LimitExec{N: 1, Child: scan},
+		&SortExec{Orders: []SortKey{{E: refA, Desc: true}}, Child: scan},
+		&DistinctExec{Child: scan},
+		&ExchangeExec{Dist: cluster.AllTuples, Child: scan},
+		&ExchangeExec{Dist: cluster.NullBitmap, Keys: []expr.Expr{refA}, Child: scan},
+		&ExchangeExec{Dist: cluster.Grid, Keys: []expr.Expr{refA, refB}, Minimize: []bool{true, true}, Child: scan},
+		NewAggregateExec([]expr.Expr{refA}, []expr.Expr{refA, expr.NewCountStar()},
+			types.NewSchema(types.Field{Name: "a"}, types.Field{Name: "n"}), scan),
+		NewHashJoinExec(plan.InnerJoin, scan, scanOf(t, tab), []expr.Expr{refA}, []expr.Expr{refA}, nil, fourCol),
+		NewNestedLoopJoinExec(plan.CrossJoin, scan, scanOf(t, tab), nil, fourCol),
+		&ExtremumFilterExec{E: refA, Child: scan},
+		&LocalSkylineExec{Dims: dims, Child: scan},
+		&LocalSkylineExec{Dims: dims, Incomplete: true, WindowCap: 2, Child: scan},
+		&GlobalSkylineExec{Dims: dims, Algorithm: GlobalBNL, WindowCap: 1, Child: scan},
+		&GlobalSkylineExec{Dims: dims, Algorithm: GlobalIncompleteFlags, Child: scan},
+		&GlobalSkylineExec{Dims: dims, Algorithm: GlobalSFS, Child: scan},
+		&GlobalSkylineExec{Dims: dims, Algorithm: GlobalDivideAndConquer, Child: scan},
+	}
+	_ = twoCol
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Errorf("%T: empty String()", op)
+		}
+		if op.Schema() == nil {
+			t.Errorf("%T: nil Schema()", op)
+		}
+		for _, c := range op.Children() {
+			if c == nil {
+				t.Errorf("%T: nil child", op)
+			}
+		}
+		ds, err := op.Execute(cluster.NewContext(2))
+		if err != nil {
+			t.Errorf("%T: Execute: %v", op, err)
+			continue
+		}
+		if ds == nil {
+			t.Errorf("%T: nil dataset", op)
+		}
+	}
+}
+
+// TestGlobalSkylineUnknownAlgorithm pins the error path.
+func TestGlobalSkylineUnknownAlgorithm(t *testing.T) {
+	tab := intTable(t, "t", []string{"a"}, [][]int64{{1}})
+	g := &GlobalSkylineExec{
+		Dims:      []BoundDim{{E: expr.NewBoundRef(0, "a", types.KindInt, false)}},
+		Algorithm: GlobalAlgorithm(99),
+		Child:     scanOf(t, tab),
+	}
+	if _, err := g.Execute(cluster.NewContext(1)); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+	if GlobalAlgorithm(99).String() != "?" {
+		t.Error("unknown algorithm String")
+	}
+}
+
+// TestStrategyStrings pins the display names used in EXPLAIN output.
+func TestStrategyStrings(t *testing.T) {
+	want := map[SkylineStrategy]string{
+		SkylineAuto:                   "auto",
+		SkylineDistributedComplete:    "distributed complete",
+		SkylineNonDistributedComplete: "non-distributed complete",
+		SkylineDistributedIncomplete:  "distributed incomplete",
+		SkylineSFS:                    "sfs",
+		SkylineDivideAndConquer:       "divide-and-conquer",
+		SkylineGridComplete:           "grid complete",
+		SkylineAngleComplete:          "angle complete",
+		SkylineZorderComplete:         "zorder complete",
+		SkylineCostBased:              "cost-based",
+	}
+	for st, name := range want {
+		if st.String() != name {
+			t.Errorf("strategy %d = %q, want %q", st, st.String(), name)
+		}
+	}
+	if SkylineStrategy(99).String() != "?" {
+		t.Error("unknown strategy String")
+	}
+}

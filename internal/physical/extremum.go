@@ -1,0 +1,108 @@
+package physical
+
+import (
+	"fmt"
+	"sync"
+
+	"skysql/internal/cluster"
+	"skysql/internal/expr"
+	"skysql/internal/types"
+)
+
+// ExtremumFilterExec executes the optimizer's single-dimension skyline
+// rewrite (§5.4): a distributed O(n) pass computes the global minimum (or
+// maximum) of the expression, then a second distributed pass keeps the
+// rows attaining it. Rows whose expression is NULL are dropped, matching
+// complete-skyline semantics (the rule only fires for non-nullable or
+// COMPLETE inputs).
+type ExtremumFilterExec struct {
+	E     expr.Expr
+	Max   bool
+	Child Operator
+}
+
+func (x *ExtremumFilterExec) Schema() *types.Schema { return x.Child.Schema() }
+func (x *ExtremumFilterExec) Children() []Operator  { return []Operator{x.Child} }
+func (x *ExtremumFilterExec) String() string {
+	dir := "MIN"
+	if x.Max {
+		dir = "MAX"
+	}
+	return fmt.Sprintf("ExtremumFilterExec %s(%s)", dir, x.E)
+}
+
+func (x *ExtremumFilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := x.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Pass 1: per-partition extrema, merged into the global extremum.
+	var (
+		mu   sync.Mutex
+		best types.Value
+		seen bool
+	)
+	if _, err := ctx.MapPartitions(in, func(_ int, part []types.Row) ([]types.Row, error) {
+		var localBest types.Value
+		localSeen := false
+		for _, row := range part {
+			v, err := x.E.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if !localSeen {
+				localBest, localSeen = v, true
+				continue
+			}
+			c, ok := types.CompareValues(v, localBest)
+			if !ok {
+				return nil, fmt.Errorf("physical: extremum over incomparable kinds")
+			}
+			if (x.Max && c > 0) || (!x.Max && c < 0) {
+				localBest = v
+			}
+		}
+		if localSeen {
+			mu.Lock()
+			if !seen {
+				best, seen = localBest, true
+			} else if c, ok := types.CompareValues(localBest, best); ok && ((x.Max && c > 0) || (!x.Max && c < 0)) {
+				best = localBest
+			}
+			mu.Unlock()
+		}
+		return nil, nil
+	}); err != nil {
+		return nil, err
+	}
+	if !seen {
+		out := &cluster.Dataset{}
+		charge(ctx, out, in)
+		return out, nil
+	}
+	// Pass 2: keep rows attaining the extremum.
+	out, err := ctx.MapPartitions(in, func(_ int, part []types.Row) ([]types.Row, error) {
+		var keep []types.Row
+		for _, row := range part {
+			v, err := x.E.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if c, ok := types.CompareValues(v, best); ok && c == 0 {
+				keep = append(keep, row)
+			}
+		}
+		return keep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	charge(ctx, out, in)
+	return out, nil
+}

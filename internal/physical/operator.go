@@ -1,0 +1,97 @@
+// Package physical implements the physical operators and the physical
+// planner. The planner realizes the paper's algorithm-selection procedure
+// (Listing 8): depending on the COMPLETE keyword and the nullability of the
+// skyline dimensions it emits a local-skyline node plus a complete or
+// incomplete global-skyline node, wired together with the appropriate
+// exchange distributions (Unspecified / NullBitmap / AllTuples).
+package physical
+
+import (
+	"strings"
+
+	"skysql/internal/cluster"
+	"skysql/internal/expr"
+	"skysql/internal/types"
+)
+
+// Operator is a physical plan node. Execute produces a partitioned dataset.
+type Operator interface {
+	Schema() *types.Schema
+	Children() []Operator
+	Execute(ctx *cluster.Context) (*cluster.Dataset, error)
+	String() string
+}
+
+// Format renders the physical plan as an indented tree.
+func Format(op Operator) string {
+	var sb strings.Builder
+	var rec func(Operator, int)
+	rec = func(o Operator, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(o.String())
+		sb.WriteByte('\n')
+		for _, c := range o.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(op, 0)
+	return sb.String()
+}
+
+// charge books the memory transition from the input dataset(s) to the
+// produced output in the context metrics: the output is allocated while
+// the inputs are still live, then the inputs are released.
+func charge(ctx *cluster.Context, out *cluster.Dataset, ins ...*cluster.Dataset) {
+	if ctx.Metrics == nil {
+		return
+	}
+	ctx.Metrics.Alloc(out.MemSize())
+	for _, in := range ins {
+		if in != nil {
+			ctx.Metrics.Free(in.MemSize())
+		}
+	}
+}
+
+func exprStrings(es []expr.Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// rebase shifts every bound reference in e by -offset, re-binding an
+// expression that was bound against a concatenated (left++right) schema to
+// the right child's own schema.
+func rebase(e expr.Expr, offset int) expr.Expr {
+	return expr.Transform(e, func(sub expr.Expr) expr.Expr {
+		if b, ok := sub.(*expr.BoundRef); ok {
+			return expr.NewBoundRef(b.Index-offset, b.Name, b.Typ, b.Null)
+		}
+		return sub
+	})
+}
+
+// maxBoundIndex returns the largest bound-ref ordinal in e, or -1.
+func maxBoundIndex(e expr.Expr) int {
+	max := -1
+	expr.Walk(e, func(sub expr.Expr) {
+		if b, ok := sub.(*expr.BoundRef); ok && b.Index > max {
+			max = b.Index
+		}
+	})
+	return max
+}
+
+// minBoundIndex returns the smallest bound-ref ordinal in e, or -1 when
+// there is none.
+func minBoundIndex(e expr.Expr) int {
+	min := -1
+	expr.Walk(e, func(sub expr.Expr) {
+		if b, ok := sub.(*expr.BoundRef); ok && (min == -1 || b.Index < min) {
+			min = b.Index
+		}
+	})
+	return min
+}

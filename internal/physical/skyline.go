@@ -1,0 +1,219 @@
+package physical
+
+import (
+	"fmt"
+
+	"skysql/internal/cluster"
+	"skysql/internal/expr"
+	"skysql/internal/skyline"
+	"skysql/internal/types"
+)
+
+// BoundDim is a skyline dimension whose expression is bound to the child
+// schema, paired with its optimization direction.
+type BoundDim struct {
+	E   expr.Expr
+	Dir skyline.Dir
+}
+
+// DirOf converts the expression-level direction to the algorithm-level one.
+func DirOf(d expr.SkylineDir) skyline.Dir {
+	switch d {
+	case expr.SkyMin:
+		return skyline.Min
+	case expr.SkyMax:
+		return skyline.Max
+	default:
+		return skyline.Diff
+	}
+}
+
+func dimStrings(dims []BoundDim) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = d.E.String() + " " + d.Dir.String()
+	}
+	return joinStrings(parts)
+}
+
+// evalPoints evaluates the dimension vectors of a batch of rows.
+func evalPoints(rows []types.Row, dims []BoundDim) ([]skyline.Point, error) {
+	pts := make([]skyline.Point, len(rows))
+	for i, row := range rows {
+		vec := make(types.Row, len(dims))
+		for d, bd := range dims {
+			v, err := bd.E.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			vec[d] = v
+		}
+		pts[i] = skyline.Point{Dims: vec, Row: row}
+	}
+	return pts, nil
+}
+
+func dirsOf(dims []BoundDim) []skyline.Dir {
+	dirs := make([]skyline.Dir, len(dims))
+	for i, d := range dims {
+		dirs[i] = d.Dir
+	}
+	return dirs
+}
+
+func rowsOf(pts []skyline.Point) []types.Row {
+	rows := make([]types.Row, len(pts))
+	for i, p := range pts {
+		rows[i] = p.Row
+	}
+	return rows
+}
+
+// LocalSkylineExec computes a skyline per partition with the BNL window
+// algorithm (§5.6). It is the "local" physical node of the paper's
+// Listing 8 and is shared by the complete and incomplete plans; for
+// incomplete data the planner ensures the child is NullBitmap-partitioned
+// so transitivity holds within each partition.
+type LocalSkylineExec struct {
+	Dims       []BoundDim
+	Distinct   bool
+	Incomplete bool // dominance definition used within partitions
+	// WindowCap bounds the BNL window; 0 means unbounded. A bounded window
+	// switches to the multi-pass variant of the original BNL algorithm
+	// (§5.6 discusses the window's memory residency).
+	WindowCap int
+	Child     Operator
+}
+
+func (l *LocalSkylineExec) Schema() *types.Schema { return l.Child.Schema() }
+func (l *LocalSkylineExec) Children() []Operator  { return []Operator{l.Child} }
+func (l *LocalSkylineExec) String() string {
+	mode := "complete"
+	if l.Incomplete {
+		mode = "incomplete"
+	}
+	return fmt.Sprintf("LocalSkylineExec(%s) [%s]", mode, dimStrings(l.Dims))
+}
+
+func (l *LocalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := l.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cmp := skyline.Compare
+	if l.Incomplete {
+		cmp = skyline.CompareIncomplete
+	}
+	var stats *skyline.Stats
+	if ctx.Metrics != nil {
+		stats = &ctx.Metrics.Sky
+	}
+	out, err := ctx.MapPartitions(in, func(_ int, part []types.Row) ([]types.Row, error) {
+		pts, err := evalPoints(part, l.Dims)
+		if err != nil {
+			return nil, err
+		}
+		var sky []skyline.Point
+		if l.WindowCap > 0 {
+			sky, err = skyline.BNLBounded(pts, dirsOf(l.Dims), l.Distinct, l.WindowCap, cmp, stats)
+		} else {
+			sky, err = skyline.BNL(pts, dirsOf(l.Dims), l.Distinct, cmp, stats)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return rowsOf(sky), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	charge(ctx, out, in)
+	return out, nil
+}
+
+// GlobalSkylineExec computes the final skyline on a single executor. The
+// planner places an AllTuples exchange below it (§5.5); the operator
+// gathers defensively regardless. Algorithm selects the complete BNL, the
+// incomplete pairwise-flag algorithm, or one of the single-node extension
+// algorithms (SFS, divide-and-conquer).
+type GlobalSkylineExec struct {
+	Dims      []BoundDim
+	Distinct  bool
+	Algorithm GlobalAlgorithm
+	// WindowCap bounds the BNL window of the GlobalBNL algorithm; 0 means
+	// unbounded. Other global algorithms ignore it.
+	WindowCap int
+	Child     Operator
+}
+
+// GlobalAlgorithm selects the global skyline computation.
+type GlobalAlgorithm int
+
+// Global skyline algorithms.
+const (
+	GlobalBNL GlobalAlgorithm = iota
+	GlobalIncompleteFlags
+	GlobalSFS
+	GlobalDivideAndConquer
+)
+
+// String names the algorithm.
+func (g GlobalAlgorithm) String() string {
+	switch g {
+	case GlobalBNL:
+		return "bnl"
+	case GlobalIncompleteFlags:
+		return "incomplete"
+	case GlobalSFS:
+		return "sfs"
+	case GlobalDivideAndConquer:
+		return "dnc"
+	}
+	return "?"
+}
+
+func (g *GlobalSkylineExec) Schema() *types.Schema { return g.Child.Schema() }
+func (g *GlobalSkylineExec) Children() []Operator  { return []Operator{g.Child} }
+func (g *GlobalSkylineExec) String() string {
+	return fmt.Sprintf("GlobalSkylineExec(%s) [%s]", g.Algorithm, dimStrings(g.Dims))
+}
+
+func (g *GlobalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := g.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows := in.Gather()
+	pts, err := evalPoints(rows, g.Dims)
+	if err != nil {
+		return nil, err
+	}
+	var stats *skyline.Stats
+	if ctx.Metrics != nil {
+		stats = &ctx.Metrics.Sky
+	}
+	dirs := dirsOf(g.Dims)
+	var sky []skyline.Point
+	switch g.Algorithm {
+	case GlobalBNL:
+		if g.WindowCap > 0 {
+			sky, err = skyline.BNLBounded(pts, dirs, g.Distinct, g.WindowCap, skyline.Compare, stats)
+		} else {
+			sky, err = skyline.BNL(pts, dirs, g.Distinct, skyline.Compare, stats)
+		}
+	case GlobalIncompleteFlags:
+		sky, err = skyline.GlobalIncomplete(pts, dirs, g.Distinct, stats)
+	case GlobalSFS:
+		sky, err = skyline.SFS(pts, dirs, g.Distinct, stats)
+	case GlobalDivideAndConquer:
+		sky, err = skyline.DivideAndConquer(pts, dirs, g.Distinct, stats)
+	default:
+		err = fmt.Errorf("physical: unknown global skyline algorithm %d", g.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := cluster.NewDataset(rowsOf(sky))
+	charge(ctx, out, in)
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package plan
+
+import (
+	"fmt"
+
+	"skysql/internal/expr"
+	"skysql/internal/sql"
+)
+
+// Build lowers a parsed SELECT statement into an unresolved logical plan.
+//
+// The node order mirrors Spark SQL and the paper's grammar position of the
+// skyline clause (§5.1): scan/join → WHERE filter → aggregate → HAVING
+// filter → projection → DISTINCT → skyline → ORDER BY → LIMIT. The skyline
+// sits above the projection; dimensions referencing columns that are not
+// part of the projection are reconciled by the analyzer's missing-
+// reference rule (paper Listing 6).
+func Build(stmt *sql.SelectStmt) (Node, error) {
+	node, err := buildFrom(stmt.From)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE, with NOT EXISTS conjuncts decorrelated into anti/semi joins —
+	// this is how the paper's "reference" algorithm (Listing 4) executes.
+	if stmt.Where != nil {
+		node, err = buildWhere(stmt.Where, node)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Items {
+		if expr.ContainsAggregate(it) {
+			hasAgg = true
+		}
+	}
+
+	if hasAgg {
+		node = NewAggregate(stmt.GroupBy, stmt.Items, node)
+	}
+
+	if stmt.Having != nil {
+		if !hasAgg {
+			return nil, fmt.Errorf("plan: HAVING requires GROUP BY or aggregates")
+		}
+		node = NewFilter(stmt.Having, node)
+	}
+
+	if !hasAgg {
+		node = NewProject(stmt.Items, node)
+	}
+
+	if stmt.Distinct {
+		node = NewDistinct(node)
+	}
+
+	if stmt.Skyline != nil {
+		if len(stmt.Skyline.Dims) == 0 {
+			return nil, fmt.Errorf("plan: SKYLINE OF requires at least one dimension")
+		}
+		node = NewSkylineOperator(stmt.Skyline.Distinct, stmt.Skyline.Complete, stmt.Skyline.Dims, node)
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		orders := make([]SortOrder, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			orders[i] = SortOrder{E: o.E, Desc: o.Desc}
+		}
+		node = NewSort(orders, node)
+	}
+
+	if stmt.Limit >= 0 {
+		node = NewLimit(stmt.Limit, node)
+	}
+	return node, nil
+}
+
+// buildFrom lowers a FROM clause tree.
+func buildFrom(ref sql.TableRef) (Node, error) {
+	if ref == nil {
+		return &OneRow{}, nil
+	}
+	switch r := ref.(type) {
+	case *sql.TableName:
+		return &UnresolvedRelation{Name: r.Name, Alias: r.Alias}, nil
+	case *sql.SubqueryRef:
+		child, err := Build(r.Select)
+		if err != nil {
+			return nil, err
+		}
+		return NewSubqueryAlias(r.Alias, child), nil
+	case *sql.JoinRef:
+		left, err := buildFrom(r.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := buildFrom(r.Right)
+		if err != nil {
+			return nil, err
+		}
+		var jt JoinType
+		switch r.Type {
+		case sql.JoinInner:
+			jt = InnerJoin
+		case sql.JoinLeftOuter:
+			jt = LeftOuterJoin
+		case sql.JoinRightOuter:
+			jt = RightOuterJoin
+		case sql.JoinCross:
+			jt = CrossJoin
+		default:
+			return nil, fmt.Errorf("plan: unsupported join type %v", r.Type)
+		}
+		j := NewJoin(jt, left, right, r.On)
+		j.Using = r.Using
+		return j, nil
+	}
+	return nil, fmt.Errorf("plan: unsupported FROM clause %T", ref)
+}
+
+// buildWhere applies the WHERE predicate, converting top-level EXISTS /
+// NOT EXISTS conjuncts into semi/anti joins (decorrelation). The inner
+// query's WHERE becomes the join condition, which may freely reference
+// both sides — exactly the dominance predicate shape of the paper's
+// Listing 4 reference rewriting.
+func buildWhere(where expr.Expr, child Node) (Node, error) {
+	conjuncts := expr.SplitConjuncts(where)
+	var plain []expr.Expr
+	node := child
+	for _, c := range conjuncts {
+		ex, ok := c.(*sql.Exists)
+		if !ok {
+			if containsExists(c) {
+				return nil, fmt.Errorf("plan: EXISTS is only supported as a top-level WHERE conjunct")
+			}
+			plain = append(plain, c)
+			continue
+		}
+		sub := ex.Subquery
+		if len(sub.GroupBy) > 0 || sub.Having != nil || sub.Skyline != nil || len(sub.OrderBy) > 0 || sub.Limit >= 0 {
+			return nil, fmt.Errorf("plan: EXISTS subqueries support only SELECT-FROM-WHERE")
+		}
+		right, err := buildFrom(sub.From)
+		if err != nil {
+			return nil, err
+		}
+		jt := LeftSemiJoin
+		if ex.Negated {
+			jt = LeftAntiJoin
+		}
+		node = NewJoin(jt, node, right, sub.Where)
+	}
+	if cond := expr.JoinConjuncts(plain); cond != nil {
+		node = NewFilter(cond, node)
+	}
+	return node, nil
+}
+
+func containsExists(e expr.Expr) bool {
+	found := false
+	expr.Walk(e, func(n expr.Expr) {
+		if _, ok := n.(*sql.Exists); ok {
+			found = true
+		}
+	})
+	return found
+}

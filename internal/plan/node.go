@@ -1,0 +1,95 @@
+// Package plan defines the logical query plan: the node types (including
+// the paper's SkylineOperator, §5.2), schema propagation, and the builder
+// that lowers a parsed AST into an unresolved logical plan. Resolution is
+// the analyzer's job; optimization the optimizer's.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"skysql/internal/types"
+)
+
+// Node is a logical plan operator.
+type Node interface {
+	// Schema returns the output schema. On unresolved nodes the types and
+	// nullability of some fields may still be unknown (KindNull).
+	Schema() *types.Schema
+	// Children returns the input plans.
+	Children() []Node
+	// WithChildren returns a copy with the children replaced.
+	WithChildren(children []Node) Node
+	// Resolved reports whether this node and all expressions in it are
+	// resolved (children NOT included; use TreeResolved).
+	Resolved() bool
+	// String renders a one-line description of this node only.
+	String() string
+}
+
+// TreeResolved reports whether the node and its whole subtree are resolved.
+func TreeResolved(n Node) bool {
+	if !n.Resolved() {
+		return false
+	}
+	for _, c := range n.Children() {
+		if !TreeResolved(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// TransformUp rewrites the plan bottom-up: children first, then fn is
+// applied to the (possibly rebuilt) node.
+func TransformUp(n Node, fn func(Node) Node) Node {
+	children := n.Children()
+	if len(children) > 0 {
+		newChildren := make([]Node, len(children))
+		changed := false
+		for i, c := range children {
+			newChildren[i] = TransformUp(c, fn)
+			if newChildren[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			n = n.WithChildren(newChildren)
+		}
+	}
+	return fn(n)
+}
+
+// Walk visits the plan in pre-order.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// Format renders the whole plan as an indented tree, the way EXPLAIN
+// prints it.
+func Format(n Node) string {
+	var sb strings.Builder
+	var rec func(Node, int)
+	rec = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.String())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return sb.String()
+}
+
+// exprListString renders a list of expressions for String() methods.
+func exprListString[T fmt.Stringer](items []T) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,126 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"skysql/internal/catalog"
+	"skysql/internal/expr"
+	"skysql/internal/types"
+)
+
+// TestNodeInterfaceContracts exercises the Node interface uniformly for
+// every node type: WithChildren must replace children without mutating the
+// receiver, Children must round-trip, String must be non-empty, and Schema
+// must be callable.
+func TestNodeInterfaceContracts(t *testing.T) {
+	tab, err := catalog.NewTable("t", types.NewSchema(
+		types.Field{Name: "a", Type: types.KindInt},
+		types.Field{Name: "b", Type: types.KindInt},
+	), []types.Row{{types.Int(1), types.Int(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := NewScan(tab, "t")
+	scan2 := NewScan(tab, "u")
+	refA := expr.NewBoundRef(0, "a", types.KindInt, false)
+	dim := expr.NewSkylineDimension(refA, expr.SkyMin)
+
+	nodes := []Node{
+		&UnresolvedRelation{Name: "t", Alias: "x"},
+		scan,
+		&OneRow{},
+		NewProject([]expr.Expr{refA}, scan),
+		NewFilter(expr.NewLiteral(types.Bool(true)), scan),
+		NewJoin(InnerJoin, scan, scan2, expr.NewLiteral(types.Bool(true))),
+		NewJoin(CrossJoin, scan, scan2, nil),
+		NewAggregate([]expr.Expr{refA}, []expr.Expr{refA, expr.NewCountStar()}, scan),
+		NewSkylineOperator(true, true, []*expr.SkylineDimension{dim}, scan),
+		NewSort([]SortOrder{{E: refA, Desc: true}}, scan),
+		NewLimit(5, scan),
+		NewDistinct(scan),
+		NewSubqueryAlias("sub", scan),
+		NewExtremumFilter(refA, false, scan),
+	}
+	for _, n := range nodes {
+		if n.String() == "" {
+			t.Errorf("%T: empty String()", n)
+		}
+		_ = n.Schema()
+		children := n.Children()
+		// Replacing children with themselves must preserve the child count
+		// and the node's rendering.
+		if len(children) > 0 {
+			rebuilt := n.WithChildren(children)
+			if len(rebuilt.Children()) != len(children) {
+				t.Errorf("%T: WithChildren changed arity", n)
+			}
+			if rebuilt.String() != n.String() {
+				t.Errorf("%T: WithChildren changed rendering: %q vs %q", n, rebuilt.String(), n.String())
+			}
+		} else {
+			// Leaves return themselves.
+			if n.WithChildren(nil) == nil {
+				t.Errorf("%T: leaf WithChildren returned nil", n)
+			}
+		}
+		_ = n.Resolved()
+	}
+}
+
+func TestUnresolvedRelationBinding(t *testing.T) {
+	if (&UnresolvedRelation{Name: "t"}).Binding() != "t" {
+		t.Error("binding without alias must be the name")
+	}
+	if (&UnresolvedRelation{Name: "t", Alias: "x"}).Binding() != "x" {
+		t.Error("binding with alias must be the alias")
+	}
+}
+
+func TestSubqueryAliasSchemaQualification(t *testing.T) {
+	tab, _ := catalog.NewTable("t", types.NewSchema(
+		types.Field{Name: "a", Type: types.KindInt},
+	), nil)
+	scan := NewScan(tab, "t")
+	sa := NewSubqueryAlias("sub", scan)
+	if sa.Schema().Fields[0].Qualifier != "sub" {
+		t.Errorf("alias schema = %s", sa.Schema())
+	}
+	empty := NewSubqueryAlias("", scan)
+	if empty.Schema().Fields[0].Qualifier != "t" {
+		t.Errorf("empty alias must keep child qualifiers: %s", empty.Schema())
+	}
+}
+
+func TestJoinTypeStrings(t *testing.T) {
+	for jt, want := range map[JoinType]string{
+		InnerJoin: "Inner", LeftOuterJoin: "LeftOuter", RightOuterJoin: "RightOuter",
+		CrossJoin: "Cross", LeftSemiJoin: "LeftSemi", LeftAntiJoin: "LeftAnti",
+	} {
+		if jt.String() != want {
+			t.Errorf("JoinType(%d) = %q, want %q", jt, jt.String(), want)
+		}
+	}
+}
+
+func TestSortOrderString(t *testing.T) {
+	refA := expr.NewBoundRef(0, "a", types.KindInt, false)
+	if got := (SortOrder{E: refA}).String(); !strings.HasSuffix(got, "ASC") {
+		t.Errorf("ASC order = %q", got)
+	}
+	if got := (SortOrder{E: refA, Desc: true}).String(); !strings.HasSuffix(got, "DESC") {
+		t.Errorf("DESC order = %q", got)
+	}
+}
+
+func TestJoinWithUsingUnresolved(t *testing.T) {
+	tab, _ := catalog.NewTable("t", types.NewSchema(types.Field{Name: "a"}), nil)
+	j := NewJoin(InnerJoin, NewScan(tab, "l"), NewScan(tab, "r"), nil)
+	j.Using = []string{"a"}
+	if j.Resolved() {
+		t.Error("USING joins are unresolved until desugared")
+	}
+	if !strings.Contains(j.String(), "USING (a)") {
+		t.Errorf("String = %q", j.String())
+	}
+}

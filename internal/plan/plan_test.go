@@ -1,0 +1,253 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"skysql/internal/catalog"
+	"skysql/internal/expr"
+	"skysql/internal/sql"
+	"skysql/internal/types"
+)
+
+func mustBuild(t *testing.T, q string) Node {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(stmt)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", q, err)
+	}
+	return n
+}
+
+func TestBuildSimpleSelect(t *testing.T) {
+	n := mustBuild(t, "SELECT a, b FROM t WHERE a > 1")
+	proj, ok := n.(*Project)
+	if !ok {
+		t.Fatalf("root = %T, want Project", n)
+	}
+	f, ok := proj.Child.(*Filter)
+	if !ok {
+		t.Fatalf("child = %T, want Filter", proj.Child)
+	}
+	if _, ok := f.Child.(*UnresolvedRelation); !ok {
+		t.Fatalf("leaf = %T, want UnresolvedRelation", f.Child)
+	}
+}
+
+func TestBuildSkylinePosition(t *testing.T) {
+	n := mustBuild(t, `SELECT a FROM t WHERE a > 0
+		SKYLINE OF a MIN, b MAX ORDER BY a LIMIT 3`)
+	// Limit(Sort(Skyline(Project(Filter(Relation)))))
+	l := n.(*Limit)
+	s := l.Child.(*Sort)
+	sky := s.Child.(*SkylineOperator)
+	if len(sky.Dims) != 2 {
+		t.Fatalf("dims = %d", len(sky.Dims))
+	}
+	if _, ok := sky.Child.(*Project); !ok {
+		t.Fatalf("skyline child = %T, want Project", sky.Child)
+	}
+}
+
+func TestBuildAggregatePlacesSkylineAboveHaving(t *testing.T) {
+	n := mustBuild(t, `SELECT a, count(*) FROM t GROUP BY a
+		HAVING count(*) > 1 SKYLINE OF a MIN`)
+	sky := n.(*SkylineOperator)
+	f := sky.Child.(*Filter)
+	if _, ok := f.Child.(*Aggregate); !ok {
+		t.Fatalf("filter child = %T, want Aggregate", f.Child)
+	}
+}
+
+func TestBuildAggregateWithoutGroupBy(t *testing.T) {
+	n := mustBuild(t, "SELECT count(*) FROM t")
+	agg, ok := n.(*Aggregate)
+	if !ok {
+		t.Fatalf("root = %T, want Aggregate", n)
+	}
+	if len(agg.Groups) != 0 {
+		t.Error("global aggregate must have no groups")
+	}
+}
+
+func TestBuildNotExistsBecomesAntiJoin(t *testing.T) {
+	n := mustBuild(t, `SELECT a FROM t AS o WHERE o.a > 1 AND NOT EXISTS(
+		SELECT * FROM t AS i WHERE i.a < o.a)`)
+	proj := n.(*Project)
+	// The plain conjunct becomes a Filter above the anti join.
+	f, ok := proj.Child.(*Filter)
+	if !ok {
+		t.Fatalf("expected Filter above join, got %T", proj.Child)
+	}
+	j, ok := f.Child.(*Join)
+	if !ok || j.Type != LeftAntiJoin {
+		t.Fatalf("expected LeftAntiJoin, got %v", f.Child)
+	}
+	if j.Cond == nil {
+		t.Error("anti join must carry the subquery predicate")
+	}
+}
+
+func TestBuildExistsBecomesSemiJoin(t *testing.T) {
+	n := mustBuild(t, "SELECT a FROM t WHERE EXISTS(SELECT * FROM u WHERE u.x = t.a)")
+	proj := n.(*Project)
+	j, ok := proj.Child.(*Join)
+	if !ok || j.Type != LeftSemiJoin {
+		t.Fatalf("expected LeftSemiJoin, got %v", proj.Child)
+	}
+}
+
+func TestBuildRejectsNestedExists(t *testing.T) {
+	stmt, err := sql.Parse("SELECT a FROM t WHERE a > 1 OR NOT EXISTS(SELECT * FROM u)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(stmt); err == nil {
+		t.Error("EXISTS under OR must be rejected")
+	}
+}
+
+func TestBuildRejectsComplexExistsSubquery(t *testing.T) {
+	stmt, err := sql.Parse("SELECT a FROM t WHERE NOT EXISTS(SELECT x FROM u GROUP BY x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(stmt); err == nil {
+		t.Error("EXISTS with GROUP BY must be rejected")
+	}
+}
+
+func TestBuildHavingWithoutAggregates(t *testing.T) {
+	stmt, err := sql.Parse("SELECT a FROM t HAVING a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(stmt); err == nil {
+		t.Error("HAVING without aggregation must be rejected")
+	}
+}
+
+func TestBuildFromlessSelect(t *testing.T) {
+	n := mustBuild(t, "SELECT 1 + 1")
+	proj := n.(*Project)
+	if _, ok := proj.Child.(*OneRow); !ok {
+		t.Fatalf("fromless child = %T, want OneRow", proj.Child)
+	}
+}
+
+func TestJoinSchemas(t *testing.T) {
+	mk := func(name string, cols ...string) *Scan {
+		fields := make([]types.Field, len(cols))
+		for i, c := range cols {
+			fields[i] = types.Field{Name: c, Type: types.KindInt}
+		}
+		tab, err := catalog.NewTable(name, types.NewSchema(fields...), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewScan(tab, name)
+	}
+	l, r := mk("l", "a", "b"), mk("r", "c")
+	inner := NewJoin(InnerJoin, l, r, nil)
+	if inner.Schema().Len() != 3 {
+		t.Errorf("inner join schema = %s", inner.Schema())
+	}
+	left := NewJoin(LeftOuterJoin, l, r, nil)
+	if !left.Schema().Fields[2].Nullable {
+		t.Error("left outer join must mark right fields nullable")
+	}
+	right := NewJoin(RightOuterJoin, l, r, nil)
+	if !right.Schema().Fields[0].Nullable {
+		t.Error("right outer join must mark left fields nullable")
+	}
+	anti := NewJoin(LeftAntiJoin, l, r, nil)
+	if anti.Schema().Len() != 2 {
+		t.Errorf("anti join schema = %s", anti.Schema())
+	}
+}
+
+func TestSkylineOperatorMissingInput(t *testing.T) {
+	tab, _ := catalog.NewTable("t", types.NewSchema(
+		types.Field{Name: "a", Type: types.KindInt},
+		types.Field{Name: "b", Type: types.KindInt},
+	), nil)
+	scan := NewScan(tab, "t")
+	proj := NewProject([]expr.Expr{expr.NewColumn("t", "a")}, scan)
+	sky := NewSkylineOperator(false, false, []*expr.SkylineDimension{
+		expr.NewSkylineDimension(expr.NewColumn("t", "b"), expr.SkyMin),
+	}, proj)
+	missing := sky.MissingInput()
+	if len(missing) != 1 || missing[0] != "t.b" {
+		t.Errorf("MissingInput = %v", missing)
+	}
+}
+
+func TestTransformUpAndWalk(t *testing.T) {
+	n := mustBuild(t, "SELECT a FROM t WHERE a > 1 SKYLINE OF a MIN")
+	count := 0
+	Walk(n, func(Node) { count++ })
+	if count != 4 { // Skyline, Project, Filter, Relation
+		t.Errorf("Walk visited %d nodes", count)
+	}
+	replaced := TransformUp(n, func(n Node) Node {
+		if _, ok := n.(*UnresolvedRelation); ok {
+			return &OneRow{}
+		}
+		return n
+	})
+	found := false
+	Walk(replaced, func(n Node) {
+		if _, ok := n.(*OneRow); ok {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("TransformUp did not replace the leaf")
+	}
+}
+
+func TestTreeResolved(t *testing.T) {
+	n := mustBuild(t, "SELECT a FROM t")
+	if TreeResolved(n) {
+		t.Error("unresolved plan must not report resolved")
+	}
+}
+
+func TestFormatIndentsTree(t *testing.T) {
+	n := mustBuild(t, "SELECT a FROM t WHERE a > 1")
+	out := Format(n)
+	if !strings.Contains(out, "Project") || !strings.Contains(out, "\n  Filter") {
+		t.Errorf("Format output:\n%s", out)
+	}
+}
+
+func TestNodeStrings(t *testing.T) {
+	n := mustBuild(t, `SELECT a, count(*) AS n FROM t GROUP BY a
+		HAVING count(*) > 0 SKYLINE OF DISTINCT COMPLETE a MIN ORDER BY a DESC LIMIT 1`)
+	out := Format(n)
+	for _, want := range []string{"Limit 1", "Sort", "DESC", "Skyline DISTINCT COMPLETE", "Filter", "Aggregate", "groups=[a]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtremumFilterNode(t *testing.T) {
+	tab, _ := catalog.NewTable("t", types.NewSchema(types.Field{Name: "a", Type: types.KindInt}), nil)
+	scan := NewScan(tab, "t")
+	x := NewExtremumFilter(expr.NewBoundRef(0, "a", types.KindInt, false), true, scan)
+	if !strings.Contains(x.String(), "MAX") {
+		t.Errorf("String = %q", x.String())
+	}
+	if x.Schema().Len() != 1 || !x.Resolved() {
+		t.Error("schema/resolution wrong")
+	}
+	y := x.WithChildren([]Node{scan}).(*ExtremumFilter)
+	if y.Max != true {
+		t.Error("WithChildren must preserve Max")
+	}
+}

@@ -1,0 +1,118 @@
+package skyline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"skysql/internal/types"
+)
+
+// genPoints builds n points with the given correlation sign: +1 correlated,
+// 0 independent, -1 anti-correlated, over d minimized dimensions.
+func genPoints(rng *rand.Rand, n, d int, corr int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		dims := make(types.Row, d)
+		base := rng.Float64()
+		for k := 0; k < d; k++ {
+			var v float64
+			switch corr {
+			case 1:
+				v = base + rng.NormFloat64()*0.05
+			case -1:
+				if k == 0 {
+					v = base
+				} else {
+					v = 1 - base + rng.NormFloat64()*0.05
+				}
+			default:
+				v = rng.Float64()
+			}
+			dims[k] = types.Float(v)
+		}
+		pts[i] = Point{Dims: dims, Row: dims}
+	}
+	return pts
+}
+
+func benchAlgo(b *testing.B, name string, fn func([]Point, []Dir, bool, *Stats) ([]Point, error)) {
+	for _, n := range []int{1000, 10000} {
+		for _, d := range []int{2, 4, 6} {
+			b.Run(fmt.Sprintf("%s/n=%d/d=%d", name, n, d), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				dirs := make([]Dir, d)
+				pts := genPoints(rng, n, d, 0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := fn(pts, dirs, false, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBNL(b *testing.B) {
+	benchAlgo(b, "bnl", func(p []Point, d []Dir, dis bool, s *Stats) ([]Point, error) {
+		return BNL(p, d, dis, Compare, s)
+	})
+}
+
+func BenchmarkSFS(b *testing.B) { benchAlgo(b, "sfs", SFS) }
+
+func BenchmarkDivideAndConquer(b *testing.B) { benchAlgo(b, "dnc", DivideAndConquer) }
+
+func BenchmarkGlobalIncomplete(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	dirs := []Dir{Min, Min, Min}
+	pts := genPoints(rng, 2000, 3, 0)
+	for i := range pts {
+		if rng.Float64() < 0.1 {
+			pts[i].Dims[rng.Intn(3)] = types.Null
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GlobalIncomplete(pts, dirs, false, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDominanceCheck(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	dirs := []Dir{Min, Max, Min, Max, Min, Max}
+	a := genPoints(rng, 1, 6, 0)[0]
+	c := genPoints(rng, 1, 6, 0)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(a.Dims, c.Dims, dirs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorrelationImpact shows how the data distribution drives the
+// skyline size and therefore BNL cost — the §2 observation behind the
+// paper's algorithm discussion.
+func BenchmarkCorrelationImpact(b *testing.B) {
+	for _, corr := range []struct {
+		name string
+		c    int
+	}{{"correlated", 1}, {"independent", 0}, {"anti-correlated", -1}} {
+		b.Run(corr.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			dirs := []Dir{Min, Min, Min}
+			pts := genPoints(rng, 5000, 3, corr.c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := BNL(pts, dirs, false, Compare, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package skyline
+
+import "skysql/internal/types"
+
+// BNL computes the skyline of points with the Block-Nested-Loop window
+// algorithm (paper §5.6, originally [Börzsönyi et al. 2001]).
+//
+// A window holds the skyline of all tuples processed so far. For each
+// incoming tuple t:
+//   - if a window tuple dominates t (or equals t and distinct is set),
+//     t is discarded; by transitivity t cannot dominate any window tuple,
+//     so scanning stops immediately;
+//   - otherwise every window tuple dominated by t is evicted and t is
+//     inserted (t is also inserted when incomparable with the whole
+//     window).
+//
+// The function relies on transitivity and must therefore only be used when
+// the dominance relation is transitive: on complete data, or on a single
+// null-bitmap partition of incomplete data (where all tuples share their
+// NULL positions). cmp selects the dominance definition.
+func BNL(points []Point, dirs []Dir, distinct bool, cmp CompareFunc, stats *Stats) ([]Point, error) {
+	window := make([]Point, 0, 16)
+	for _, t := range points {
+		dominated := false
+		keep := window[:0]
+		for wi, w := range window {
+			rel, err := cmp(w.Dims, t.Dims, dirs, stats)
+			if err != nil {
+				return nil, err
+			}
+			switch rel {
+			case LeftDominates:
+				dominated = true
+			case Equal:
+				if distinct {
+					dominated = true
+				} else {
+					keep = append(keep, w)
+				}
+			case RightDominates:
+				// w is evicted: skip appending it.
+			default:
+				keep = append(keep, w)
+			}
+			if dominated {
+				// t cannot dominate the remaining window tuples
+				// (transitivity); keep w and the rest, and stop.
+				keep = append(keep, window[wi:]...)
+				break
+			}
+		}
+		window = keep
+		if !dominated {
+			window = append(window, t)
+		}
+	}
+	return window, nil
+}
+
+// CompareFunc is the dominance classifier used by the window algorithms:
+// either Compare (complete data) or CompareIncomplete.
+type CompareFunc func(a, b types.Row, dirs []Dir, stats *Stats) (Relation, error)

@@ -1,0 +1,95 @@
+package skyline
+
+import "fmt"
+
+// BNLBounded computes the skyline with a bounded window, the multi-pass
+// variant of the original Block-Nested-Loop algorithm. The paper's §5.6
+// notes BNL "is most efficient if the window fits into main memory" and
+// relies on swapping otherwise; the original algorithm instead bounds the
+// window explicitly and spools tuples that find no place into an overflow
+// set processed by subsequent passes.
+//
+// Correctness follows the classic timestamp argument: a window tuple can
+// only be declared part of the skyline once it has been compared against
+// every input tuple. A tuple inserted into the window before the first
+// overflow write of a pass has, by the end of that pass, met all survivors
+// and is emitted; later insertions must be re-examined against the
+// overflow in the next pass. Like BNL, this requires a transitive
+// dominance relation (complete data, or one null-bitmap partition).
+func BNLBounded(points []Point, dirs []Dir, distinct bool, windowCap int, cmp CompareFunc, stats *Stats) ([]Point, error) {
+	if windowCap < 1 {
+		return nil, fmt.Errorf("skyline: window capacity must be positive, got %d", windowCap)
+	}
+	var out []Point
+	input := points
+	for pass := 0; len(input) > 0; pass++ {
+		if pass > len(points)+1 {
+			return nil, fmt.Errorf("skyline: bounded BNL failed to converge (window cap %d)", windowCap)
+		}
+		type entry struct {
+			p Point
+			t int // insertion timestamp within this pass
+		}
+		var window []entry
+		var overflow []Point
+		firstOverflow := -1 // timestamp of the first overflow write; -1 = none
+		clock := 0
+		for _, t := range input {
+			clock++
+			dominated := false
+			keep := window[:0]
+			for wi, w := range window {
+				rel, err := cmp(w.p.Dims, t.Dims, dirs, stats)
+				if err != nil {
+					return nil, err
+				}
+				switch rel {
+				case LeftDominates:
+					dominated = true
+				case Equal:
+					if distinct {
+						dominated = true
+					} else {
+						keep = append(keep, w)
+					}
+				case RightDominates:
+					// evicted
+				default:
+					keep = append(keep, w)
+				}
+				if dominated {
+					keep = append(keep, window[wi:]...)
+					break
+				}
+			}
+			window = keep
+			if dominated {
+				continue
+			}
+			if len(window) < windowCap {
+				window = append(window, entry{p: t, t: clock})
+				continue
+			}
+			// No room: spool to overflow for the next pass.
+			if firstOverflow < 0 {
+				firstOverflow = clock
+			}
+			overflow = append(overflow, t)
+		}
+		// Window tuples inserted before the first overflow write have been
+		// compared with every tuple of this pass's input and every overflow
+		// tuple (overflow tuples were all seen after them): they are final.
+		// Later insertions have not met the earlier-spooled overflow tuples
+		// and must go around again.
+		var carry []Point
+		for _, w := range window {
+			if firstOverflow < 0 || w.t < firstOverflow {
+				out = append(out, w.p)
+			} else {
+				carry = append(carry, w.p)
+			}
+		}
+		input = append(carry, overflow...)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBNLBoundedMatchesUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	dirs := []Dir{Min, Max, Min}
+	for trial := 0; trial < 150; trial++ {
+		n := rng.Intn(120)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = pt(rng.Intn(8), rng.Intn(8), rng.Intn(8))
+		}
+		want, err := BNL(pts, dirs, false, Compare, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cap := range []int{1, 2, 3, 7, 64, 1000} {
+			got, err := BNLBounded(pts, dirs, false, cap, Compare, nil)
+			if err != nil {
+				t.Fatalf("cap %d: %v", cap, err)
+			}
+			sameSet(t, got, want, "bounded BNL")
+		}
+	}
+}
+
+func TestBNLBoundedDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	dirs := []Dir{Min, Min}
+	for trial := 0; trial < 80; trial++ {
+		n := rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = pt(rng.Intn(3), rng.Intn(3)) // many duplicates
+		}
+		want, err := NaiveComplete(pts, dirs, true, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BNLBounded(pts, dirs, true, 2, Compare, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("distinct bounded size %d, want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestBNLBoundedWindowOfOne(t *testing.T) {
+	// cap=1 degenerates to many passes but must stay correct.
+	pts := []Point{pt(3, 3), pt(1, 5), pt(5, 1), pt(2, 2), pt(4, 4)}
+	dirs := []Dir{Min, Min}
+	got, err := BNLBounded(pts, dirs, false, 1, Compare, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NaiveComplete(pts, dirs, false, nil)
+	sameSet(t, got, want, "cap-1 bounded BNL")
+}
+
+func TestBNLBoundedInvalidCap(t *testing.T) {
+	if _, err := BNLBounded(nil, []Dir{Min}, false, 0, Compare, nil); err == nil {
+		t.Error("non-positive window capacity must error")
+	}
+}
+
+func TestBNLBoundedEmptyInput(t *testing.T) {
+	got, err := BNLBounded(nil, []Dir{Min}, false, 4, Compare, nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestBNLBoundedIncompletePartition(t *testing.T) {
+	// Within one null-bitmap partition the incomplete comparator is
+	// transitive, so the bounded window applies there too.
+	pts := []Point{pt(1, nil, 5), pt(2, nil, 6), pt(1, nil, 4), pt(3, nil, 1)}
+	dirs := []Dir{Min, Min, Min}
+	got, err := BNLBounded(pts, dirs, false, 2, CompareIncomplete, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LocalIncomplete(pts, dirs, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, want, "bounded incomplete partition")
+}

@@ -1,0 +1,243 @@
+// Package skyline implements the skyline (Pareto front) algorithms the
+// physical operators execute:
+//
+//   - Dominates / DominatesIncomplete — the dominance-check utility of
+//     paper §5.5, matching Definition 3.1 and its incomplete-data variant.
+//   - BNL — the Block-Nested-Loop window algorithm of §5.6, used for local
+//     skylines and for the global skyline over complete data.
+//   - GlobalIncomplete — the pairwise flag-based algorithm of §5.7 and
+//     Appendix A that tolerates cyclic dominance relationships.
+//   - NullBitmap — the IsNull-based partitioning key of §5.7.
+//   - SFS and DivideAndConquer — the sorting-based and partition-based
+//     alternatives the paper lists as future work (§7), provided for
+//     ablation benchmarks.
+//
+// The package is deliberately independent of plans and expressions: it
+// operates on Points, i.e. tuples whose skyline-dimension values have
+// already been evaluated into a vector.
+package skyline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"skysql/internal/types"
+)
+
+// Dir is the optimization direction of one skyline dimension.
+type Dir int8
+
+// Dimension directions (Definition 3.1).
+const (
+	Min Dir = iota
+	Max
+	Diff
+)
+
+// String returns the SQL keyword for the direction.
+func (d Dir) String() string {
+	switch d {
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Diff:
+		return "DIFF"
+	}
+	return fmt.Sprintf("Dir(%d)", int8(d))
+}
+
+// Point is a tuple prepared for skyline computation: the evaluated skyline
+// dimension vector plus the original payload row.
+type Point struct {
+	Dims types.Row // values of the skyline dimensions, in clause order
+	Row  types.Row // the full tuple, passed through to the output
+}
+
+// Stats collects machine-independent cost counters. All methods are safe
+// for concurrent use; local skylines on different partitions share one
+// Stats.
+type Stats struct {
+	dominanceTests atomic.Int64
+	comparisons    atomic.Int64
+}
+
+// AddTests records n dominance tests.
+func (s *Stats) AddTests(n int64) {
+	if s != nil {
+		s.dominanceTests.Add(n)
+	}
+}
+
+// AddComparisons records n scalar comparisons.
+func (s *Stats) AddComparisons(n int64) {
+	if s != nil {
+		s.comparisons.Add(n)
+	}
+}
+
+// DominanceTests returns the number of dominance tests recorded.
+func (s *Stats) DominanceTests() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dominanceTests.Load()
+}
+
+// Comparisons returns the number of scalar comparisons recorded.
+func (s *Stats) Comparisons() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.comparisons.Load()
+}
+
+// Relation is the outcome of a dominance test between two points.
+type Relation int8
+
+// Dominance test outcomes.
+const (
+	Incomparable Relation = iota // neither dominates; not equal
+	LeftDominates
+	RightDominates
+	Equal // identical in every skyline dimension (relevant for DISTINCT)
+)
+
+// Compare classifies the dominance relationship between dimension vectors
+// a and b under the complete-data Definition 3.1:
+// a ≺ b iff a is equal on all DIFF dims, at least as good on all MIN/MAX
+// dims, and strictly better in at least one MIN/MAX dim.
+//
+// Values in corresponding positions must be mutually comparable; an error
+// is returned otherwise. NULLs make a pair incomparable under the complete
+// definition, which callers avoid by routing nullable inputs to the
+// incomplete algorithms.
+func Compare(a, b types.Row, dirs []Dir, stats *Stats) (Relation, error) {
+	stats.AddTests(1)
+	aBetter, bBetter := false, false
+	for i, dir := range dirs {
+		av, bv := a[i], b[i]
+		if dir == Diff {
+			if !av.Equal(bv) {
+				return Incomparable, nil
+			}
+			continue
+		}
+		if av.IsNull() || bv.IsNull() {
+			// Complete algorithm applied to data with NULLs: treat the
+			// pair as incomparable in this dimension. (Algorithm
+			// selection routes genuinely incomplete data elsewhere.)
+			if av.IsNull() != bv.IsNull() {
+				aBetter, bBetter = true, true
+			}
+			continue
+		}
+		c, ok := types.CompareValues(av, bv)
+		stats.AddComparisons(1)
+		if !ok {
+			return Incomparable, fmt.Errorf("skyline: incomparable kinds %s and %s in dimension %d", av.Kind(), bv.Kind(), i)
+		}
+		if dir == Max {
+			c = -c
+		}
+		switch {
+		case c < 0:
+			aBetter = true
+		case c > 0:
+			bBetter = true
+		}
+		if aBetter && bBetter {
+			return Incomparable, nil
+		}
+	}
+	switch {
+	case aBetter && !bBetter:
+		return LeftDominates, nil
+	case bBetter && !aBetter:
+		return RightDominates, nil
+	case !aBetter && !bBetter:
+		return Equal, nil
+	}
+	return Incomparable, nil
+}
+
+// CompareIncomplete classifies dominance under the incomplete-data
+// definition (§3): every comparison is restricted to dimensions where both
+// tuples are non-NULL. Transitivity is NOT guaranteed; callers must use
+// cycle-safe algorithms (GlobalIncomplete).
+func CompareIncomplete(a, b types.Row, dirs []Dir, stats *Stats) (Relation, error) {
+	stats.AddTests(1)
+	aBetter, bBetter := false, false
+	sameNullPattern := true
+	for i, dir := range dirs {
+		av, bv := a[i], b[i]
+		if av.IsNull() != bv.IsNull() {
+			sameNullPattern = false
+		}
+		if av.IsNull() || bv.IsNull() {
+			continue // dimension is skipped entirely
+		}
+		if dir == Diff {
+			if !av.Equal(bv) {
+				return Incomparable, nil
+			}
+			continue
+		}
+		c, ok := types.CompareValues(av, bv)
+		stats.AddComparisons(1)
+		if !ok {
+			return Incomparable, fmt.Errorf("skyline: incomparable kinds %s and %s in dimension %d", av.Kind(), bv.Kind(), i)
+		}
+		if dir == Max {
+			c = -c
+		}
+		switch {
+		case c < 0:
+			aBetter = true
+		case c > 0:
+			bBetter = true
+		}
+		if aBetter && bBetter {
+			return Incomparable, nil
+		}
+	}
+	switch {
+	case aBetter && !bBetter:
+		return LeftDominates, nil
+	case bBetter && !aBetter:
+		return RightDominates, nil
+	case sameNullPattern:
+		return Equal, nil
+	default:
+		// Neither strictly better, but differing NULL patterns: the
+		// tuples are incomparable, not duplicates.
+		return Incomparable, nil
+	}
+}
+
+// Dominates reports whether a ≺ b under the complete-data definition.
+func Dominates(a, b types.Row, dirs []Dir, stats *Stats) (bool, error) {
+	rel, err := Compare(a, b, dirs, stats)
+	return rel == LeftDominates, err
+}
+
+// DominatesIncomplete reports whether a ≺ b under the incomplete-data
+// definition.
+func DominatesIncomplete(a, b types.Row, dirs []Dir, stats *Stats) (bool, error) {
+	rel, err := CompareIncomplete(a, b, dirs, stats)
+	return rel == LeftDominates, err
+}
+
+// NullBitmap computes the partitioning key of §5.7: bit i is set iff
+// dimension i is NULL. All tuples with equal bitmaps share a partition, so
+// inside a partition the incomplete dominance definition degenerates to the
+// complete one on the non-null dimensions and transitivity holds.
+func NullBitmap(dims types.Row) uint64 {
+	var b uint64
+	for i, v := range dims {
+		if v.IsNull() {
+			b |= 1 << uint(i%64)
+		}
+	}
+	return b
+}

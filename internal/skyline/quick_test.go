@@ -1,0 +1,193 @@
+package skyline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"skysql/internal/types"
+)
+
+// pointSet is a quick.Generator producing small random datasets, some
+// complete and some with NULLs.
+type pointSet struct {
+	pts      []Point
+	withNull bool
+}
+
+// Generate implements quick.Generator.
+func (pointSet) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := rng.Intn(40)
+	withNull := rng.Intn(2) == 0
+	pts := make([]Point, n)
+	for i := range pts {
+		dims := make(types.Row, 3)
+		for d := range dims {
+			if withNull && rng.Float64() < 0.2 {
+				dims[d] = types.Null
+			} else {
+				dims[d] = types.Int(int64(rng.Intn(5)))
+			}
+		}
+		pts[i] = Point{Dims: dims, Row: dims}
+	}
+	return reflect.ValueOf(pointSet{pts: pts, withNull: withNull})
+}
+
+var quickDirs = []Dir{Min, Max, Min}
+
+func setKey(pts []Point) map[string]int {
+	m := map[string]int{}
+	for _, p := range pts {
+		m[p.Dims.String()]++
+	}
+	return m
+}
+
+func equalMultiset(a, b []Point) bool {
+	am, bm := setKey(a), setKey(b)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		if bm[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickBNLMatchesOracleComplete: on complete data, BNL must equal the
+// naive quadratic oracle.
+func TestQuickBNLMatchesOracleComplete(t *testing.T) {
+	f := func(ps pointSet) bool {
+		if ps.withNull {
+			return true // covered by the incomplete property below
+		}
+		got, err := BNL(ps.pts, quickDirs, false, Compare, nil)
+		if err != nil {
+			return false
+		}
+		want, err := NaiveComplete(ps.pts, quickDirs, false, nil)
+		if err != nil {
+			return false
+		}
+		return equalMultiset(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIncompletePipelineMatchesOracle: the paper's full incomplete
+// pipeline (null-bitmap partitioning → local BNL → flag-based global) must
+// equal the naive incomplete-dominance oracle on any dataset.
+func TestQuickIncompletePipelineMatchesOracle(t *testing.T) {
+	f := func(ps pointSet) bool {
+		var locals []Point
+		for _, part := range PartitionByNullBitmap(ps.pts) {
+			l, err := LocalIncomplete(part, quickDirs, false, nil)
+			if err != nil {
+				return false
+			}
+			locals = append(locals, l...)
+		}
+		got, err := GlobalIncomplete(locals, quickDirs, false, nil)
+		if err != nil {
+			return false
+		}
+		want, err := NaiveIncomplete(ps.pts, quickDirs, false, nil)
+		if err != nil {
+			return false
+		}
+		return equalMultiset(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoSkylinePointDominated: no output point may be dominated by
+// any input point — for both dominance definitions.
+func TestQuickNoSkylinePointDominated(t *testing.T) {
+	f := func(ps pointSet) bool {
+		out, err := GlobalIncomplete(ps.pts, quickDirs, false, nil)
+		if err != nil {
+			return false
+		}
+		for _, o := range out {
+			for _, in := range ps.pts {
+				d, err := DominatesIncomplete(in.Dims, o.Dims, quickDirs, nil)
+				if err != nil || d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrderInsensitivity: shuffling the input must not change the
+// skyline as a set (complete data).
+func TestQuickOrderInsensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func(ps pointSet) bool {
+		if ps.withNull {
+			return true
+		}
+		a, err := BNL(ps.pts, quickDirs, false, Compare, nil)
+		if err != nil {
+			return false
+		}
+		shuffled := make([]Point, len(ps.pts))
+		copy(shuffled, ps.pts)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b, err := BNL(shuffled, quickDirs, false, Compare, nil)
+		if err != nil {
+			return false
+		}
+		return equalMultiset(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDistinctIsSubset: the DISTINCT skyline must be a sub-multiset
+// of the plain skyline with one representative per dimension vector.
+func TestQuickDistinctIsSubset(t *testing.T) {
+	f := func(ps pointSet) bool {
+		if ps.withNull {
+			return true
+		}
+		plain, err := BNL(ps.pts, quickDirs, false, Compare, nil)
+		if err != nil {
+			return false
+		}
+		distinct, err := BNL(ps.pts, quickDirs, true, Compare, nil)
+		if err != nil {
+			return false
+		}
+		plainSet := setKey(plain)
+		if len(distinct) > len(plain) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, p := range distinct {
+			k := p.Dims.String()
+			if plainSet[k] == 0 || seen[k] {
+				return false // not in plain skyline, or duplicated
+			}
+			seen[k] = true
+		}
+		// Every distinct dim-vector of the plain skyline is represented.
+		return len(seen) == len(plainSet)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package sql
+
+import (
+	"testing"
+)
+
+// TestFormatRoundTrip verifies that rendering a parsed statement and
+// re-parsing it yields an identical rendering — the property the
+// reference-rewrite generator relies on for derived tables.
+func TestFormatRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT a FROM t",
+		"SELECT DISTINCT a, b AS x FROM t WHERE a > 1 AND b < 2",
+		"SELECT * FROM t AS o WHERE NOT EXISTS(SELECT * FROM t AS i WHERE i.a < o.a)",
+		"SELECT a, count(*) AS n FROM t GROUP BY a HAVING count(*) > 1",
+		"SELECT a FROM t SKYLINE OF DISTINCT COMPLETE a MIN, b MAX, c DIFF",
+		"SELECT a FROM t ORDER BY a DESC, b LIMIT 10",
+		"SELECT r.id FROM rec r LEFT OUTER JOIN track x ON x.recording = r.id JOIN meta m USING (id)",
+		"SELECT x FROM (SELECT a AS x FROM t WHERE a IS NOT NULL) AS sub",
+		"SELECT ifnull(a, 0) AS v, -b, a + b * c FROM t",
+		"SELECT a FROM t CROSS JOIN u",
+		"SELECT 'it''s', 2.5, NULL, TRUE FROM t",
+	}
+	for _, q := range queries {
+		stmt1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		rendered := stmt1.String()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-Parse(%q) from %q: %v", rendered, q, err)
+		}
+		if stmt2.String() != rendered {
+			t.Errorf("round trip unstable:\n  first:  %s\n  second: %s", rendered, stmt2.String())
+		}
+	}
+}
+
+func TestFormatFromless(t *testing.T) {
+	stmt, err := Parse("SELECT 1 + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stmt.String(); got != "SELECT (1 + 1)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestEveryParserTestQueryRoundTrips feeds the statement renderer with a
+// broader corpus and checks re-parsability only (rendering may normalize).
+func TestEveryParserTestQueryRoundTrips(t *testing.T) {
+	corpus := []string{
+		"SELECT price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX",
+		`SELECT * FROM (
+			SELECT r.id, ifnull(r.length, 0) AS length
+			FROM recording_complete r LEFT OUTER JOIN (
+				SELECT ti.recording AS id, count(ti.recording) AS num_tracks
+				FROM track ti GROUP BY ti.recording
+			) rt USING (id)
+		) SKYLINE OF COMPLETE length MIN`,
+		"SELECT a FROM t WHERE a % 2 = 0 OR NOT b > 1",
+	}
+	for _, q := range corpus {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		if _, err := Parse(stmt.String()); err != nil {
+			t.Errorf("rendered form of %q does not re-parse: %v\nrendered: %s", q, err, stmt.String())
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"skysql/internal/expr"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseHotelSkylineQuery(t *testing.T) {
+	// Paper Listing 2.
+	stmt := mustParse(t, "SELECT price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX;")
+	if len(stmt.Items) != 2 {
+		t.Fatalf("items = %d, want 2", len(stmt.Items))
+	}
+	if stmt.Skyline == nil {
+		t.Fatal("skyline clause missing")
+	}
+	if len(stmt.Skyline.Dims) != 2 {
+		t.Fatalf("dims = %d, want 2", len(stmt.Skyline.Dims))
+	}
+	if stmt.Skyline.Dims[0].Dir != expr.SkyMin || stmt.Skyline.Dims[1].Dir != expr.SkyMax {
+		t.Errorf("directions = %v, %v", stmt.Skyline.Dims[0].Dir, stmt.Skyline.Dims[1].Dir)
+	}
+	tn, ok := stmt.From.(*TableName)
+	if !ok || tn.Name != "hotels" {
+		t.Errorf("from = %v", stmt.From)
+	}
+}
+
+func TestParseSkylineOptions(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t SKYLINE OF DISTINCT COMPLETE a MIN, b MAX, c DIFF")
+	sc := stmt.Skyline
+	if !sc.Distinct || !sc.Complete {
+		t.Errorf("distinct=%v complete=%v, want true,true", sc.Distinct, sc.Complete)
+	}
+	if len(sc.Dims) != 3 || sc.Dims[2].Dir != expr.SkyDiff {
+		t.Errorf("dims parsed wrong: %v", sc)
+	}
+	if !strings.Contains(sc.String(), "DISTINCT COMPLETE") {
+		t.Errorf("SkylineClause.String() = %q", sc.String())
+	}
+}
+
+func TestParseSkylineOverExpression(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t GROUP BY a SKYLINE OF count(b) MAX, sum(c) MIN")
+	if len(stmt.Skyline.Dims) != 2 {
+		t.Fatal("expected 2 dims")
+	}
+	if _, ok := stmt.Skyline.Dims[0].Child.(*expr.Aggregate); !ok {
+		t.Errorf("dim 0 child = %T, want *expr.Aggregate", stmt.Skyline.Dims[0].Child)
+	}
+}
+
+func TestParseSkylineRequiresDirection(t *testing.T) {
+	if _, err := Parse("SELECT * FROM t SKYLINE OF a, b MIN"); err == nil {
+		t.Fatal("missing direction must be a parse error")
+	}
+}
+
+func TestParseSkylinePosition(t *testing.T) {
+	// SKYLINE comes after HAVING and before ORDER BY.
+	stmt := mustParse(t, `SELECT a, count(*) AS n FROM t WHERE a > 0 GROUP BY a
+		HAVING count(*) > 1 SKYLINE OF a MIN ORDER BY a DESC LIMIT 10`)
+	if stmt.Where == nil || len(stmt.GroupBy) != 1 || stmt.Having == nil ||
+		stmt.Skyline == nil || len(stmt.OrderBy) != 1 || stmt.Limit != 10 {
+		t.Errorf("clause placement parsed wrong: %+v", stmt)
+	}
+	if !stmt.OrderBy[0].Desc {
+		t.Error("DESC not parsed")
+	}
+}
+
+func TestParseReferenceQuery(t *testing.T) {
+	// Paper Listing 1: the plain-SQL rewriting with NOT EXISTS.
+	stmt := mustParse(t, `SELECT price, user_rating FROM hotels AS o WHERE NOT EXISTS(
+		SELECT * FROM hotels AS i WHERE
+		i.price <= o.price AND i.user_rating >= o.user_rating
+		AND (i.price < o.price OR i.user_rating > o.user_rating))`)
+	ex, ok := stmt.Where.(*Exists)
+	if !ok {
+		t.Fatalf("where = %T, want *Exists", stmt.Where)
+	}
+	if !ex.Negated {
+		t.Error("NOT EXISTS must be negated")
+	}
+	inner := ex.Subquery
+	if _, ok := inner.Items[0].(*expr.Star); !ok {
+		t.Errorf("inner projection = %T, want star", inner.Items[0])
+	}
+	tn := inner.From.(*TableName)
+	if tn.Name != "hotels" || tn.Alias != "i" {
+		t.Errorf("inner from = %+v", tn)
+	}
+}
+
+func TestParseExistsNonNegated(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE EXISTS(SELECT b FROM u)")
+	ex := stmt.Where.(*Exists)
+	if ex.Negated {
+		t.Error("EXISTS must not be negated")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	stmt := mustParse(t, `SELECT r.id FROM recording r
+		LEFT OUTER JOIN track ti ON ti.recording = r.id
+		JOIN recording_meta rm USING (id)`)
+	j2, ok := stmt.From.(*JoinRef)
+	if !ok || j2.Type != JoinInner || len(j2.Using) != 1 || j2.Using[0] != "id" {
+		t.Fatalf("outer join node = %+v", stmt.From)
+	}
+	j1, ok := j2.Left.(*JoinRef)
+	if !ok || j1.Type != JoinLeftOuter || j1.On == nil {
+		t.Fatalf("inner join node = %+v", j2.Left)
+	}
+}
+
+func TestParseCrossJoinComma(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM a, b")
+	j, ok := stmt.From.(*JoinRef)
+	if !ok || j.Type != JoinCross {
+		t.Fatalf("comma join = %+v", stmt.From)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	stmt := mustParse(t, `SELECT x FROM (SELECT a AS x FROM t) AS sub WHERE x > 1`)
+	sq, ok := stmt.From.(*SubqueryRef)
+	if !ok || sq.Alias != "sub" {
+		t.Fatalf("from = %+v", stmt.From)
+	}
+	if _, ok := sq.Select.Items[0].(*expr.Alias); !ok {
+		t.Errorf("inner item = %T, want alias", sq.Select.Items[0])
+	}
+}
+
+func TestParseMusicBrainzComplexQuery(t *testing.T) {
+	// Paper Listing 14 (abbreviated): skyline over a derived table with
+	// joins and aggregates.
+	src := `SELECT * FROM (
+		SELECT r.id, ifnull(r.length, 0) AS length, r.video,
+			ifnull(rm.rating, 0) AS rating,
+			recording_tracks.num_tracks, recording_tracks.min_position
+		FROM recording_complete r LEFT OUTER JOIN (
+			SELECT ri.id AS id, count(ti.recording) AS num_tracks,
+				min(ti.position) AS min_position
+			FROM recording_complete ri
+			JOIN track ti ON ti.recording = ri.id
+			GROUP BY ri.id
+		) recording_tracks USING (id)
+		JOIN recording_meta rm USING (id)
+	) SKYLINE OF COMPLETE rating MAX, length MIN, num_tracks MAX, min_position MIN`
+	stmt := mustParse(t, src)
+	if stmt.Skyline == nil || !stmt.Skyline.Complete || len(stmt.Skyline.Dims) != 4 {
+		t.Fatalf("skyline clause = %+v", stmt.Skyline)
+	}
+	if _, ok := stmt.From.(*SubqueryRef); !ok {
+		t.Fatalf("from = %T, want derived table", stmt.From)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a + b * c FROM t WHERE a < 1 OR b < 2 AND c < 3")
+	// a + (b*c)
+	add := stmt.Items[0].(*expr.Binary)
+	if add.Op != expr.OpAdd {
+		t.Fatalf("top op = %v", add.Op)
+	}
+	if mul, ok := add.R.(*expr.Binary); !ok || mul.Op != expr.OpMul {
+		t.Errorf("rhs = %v", add.R)
+	}
+	// OR(a<1, AND(b<2, c<3))
+	or := stmt.Where.(*expr.Binary)
+	if or.Op != expr.OpOr {
+		t.Fatalf("where top = %v", or.Op)
+	}
+	if and, ok := or.R.(*expr.Binary); !ok || and.Op != expr.OpAnd {
+		t.Errorf("where rhs = %v", or.R)
+	}
+}
+
+func TestParseLiteralsAndOperators(t *testing.T) {
+	stmt := mustParse(t, "SELECT -3, 2.5, 1e3, 'it''s', NULL, TRUE, FALSE FROM t")
+	if len(stmt.Items) != 7 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	lit := stmt.Items[0].(*expr.Literal)
+	if lit.Value.AsInt() != -3 {
+		t.Errorf("-3 parsed as %v", lit.Value)
+	}
+	s := stmt.Items[3].(*expr.Literal)
+	if s.Value.AsString() != "it's" {
+		t.Errorf("escaped string = %q", s.Value.AsString())
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a IS NOT NULL AND b IS NULL")
+	and := stmt.Where.(*expr.Binary)
+	l := and.L.(*expr.IsNull)
+	r := and.R.(*expr.IsNull)
+	if !l.Negated || r.Negated {
+		t.Errorf("IS NULL parsing wrong: %v / %v", l, r)
+	}
+}
+
+func TestParseNotEqualsVariants(t *testing.T) {
+	a := mustParse(t, "SELECT a FROM t WHERE a <> 1")
+	b := mustParse(t, "SELECT a FROM t WHERE a != 1")
+	if a.Where.String() != b.Where.String() {
+		t.Errorf("<> and != differ: %s vs %s", a.Where, b.Where)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt := mustParse(t, `SELECT a -- trailing comment
+		FROM /* block
+		comment */ t`)
+	if stmt.From.(*TableName).Name != "t" {
+		t.Error("comments not skipped")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP a",
+		"SELECT a FROM t SKYLINE a MIN",
+		"SELECT a FROM t SKYLINE OF",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT count(a, b) FROM t",
+		"SELECT ifnull(a) FROM t",
+		"SELECT nosuchfn(a) FROM t",
+		"SELECT a FROM t JOIN u",
+		"SELECT a FROM t extra garbage here",
+		"SELECT 'unterminated FROM t",
+		"SELECT a FROM t WHERE a @ 1",
+		"SELECT a FROM select",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseMinMaxAsAggregates(t *testing.T) {
+	stmt := mustParse(t, "SELECT min(a), max(b) FROM t")
+	for i, want := range []expr.AggFunc{expr.AggMin, expr.AggMax} {
+		ag, ok := stmt.Items[i].(*expr.Aggregate)
+		if !ok || ag.Fn != want {
+			t.Errorf("item %d = %v, want aggregate %v", i, stmt.Items[i], want)
+		}
+	}
+}
+
+func TestParseQualifiedStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT t.*, u.x FROM t JOIN u ON t.id = u.id")
+	star, ok := stmt.Items[0].(*expr.Star)
+	if !ok || star.Qualifier != "t" {
+		t.Errorf("item 0 = %v", stmt.Items[0])
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	stmt := mustParse(t, "SELECT a + 1 total FROM t")
+	al, ok := stmt.Items[0].(*expr.Alias)
+	if !ok || al.Name != "total" {
+		t.Errorf("implicit alias = %v", stmt.Items[0])
+	}
+}
+
+func TestParseQuotedIdentifier(t *testing.T) {
+	stmt := mustParse(t, "SELECT `select` FROM \"order\"")
+	col, ok := stmt.Items[0].(*expr.Column)
+	if !ok || col.Name != "select" {
+		t.Errorf("quoted ident = %v", stmt.Items[0])
+	}
+	if stmt.From.(*TableName).Name != "order" {
+		t.Error("quoted table name wrong")
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	if _, err := Tokenize("/* unterminated"); err == nil {
+		t.Error("unterminated block comment must error")
+	}
+	if _, err := Tokenize("`unterminated"); err == nil {
+		t.Error("unterminated quoted identifier must error")
+	}
+}
+
+func TestParseInAndBetween(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN (4) AND c BETWEEN 1 AND 5 AND d NOT BETWEEN 2 AND 3")
+	conds := expr.SplitConjuncts(stmt.Where)
+	if len(conds) < 4 {
+		t.Fatalf("conjuncts = %d", len(conds))
+	}
+	in, ok := conds[0].(*expr.In)
+	if !ok || in.Negated || len(in.List) != 3 {
+		t.Errorf("IN parsed wrong: %v", conds[0])
+	}
+	nin, ok := conds[1].(*expr.In)
+	if !ok || !nin.Negated {
+		t.Errorf("NOT IN parsed wrong: %v", conds[1])
+	}
+	// BETWEEN desugars to >= AND <=; it arrives as two conjuncts after
+	// SplitConjuncts flattening.
+	if !strings.Contains(stmt.Where.String(), ">=") || !strings.Contains(stmt.Where.String(), "<=") {
+		t.Errorf("BETWEEN not desugared: %s", stmt.Where)
+	}
+	if !strings.Contains(stmt.Where.String(), "NOT") {
+		t.Errorf("NOT BETWEEN lost negation: %s", stmt.Where)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	stmt := mustParse(t, `SELECT CASE WHEN a < 10 THEN 'low' WHEN a < 100 THEN 'mid' ELSE 'high' END AS band FROM t`)
+	al, ok := stmt.Items[0].(*expr.Alias)
+	if !ok {
+		t.Fatalf("item = %T", stmt.Items[0])
+	}
+	c, ok := al.Child.(*expr.Case)
+	if !ok || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("case = %v", al.Child)
+	}
+}
+
+func TestParseCaseErrors(t *testing.T) {
+	for _, q := range []string{
+		"SELECT CASE END FROM t",
+		"SELECT CASE WHEN a THEN 1 FROM t",
+		"SELECT a FROM t WHERE a NOT 5",
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}

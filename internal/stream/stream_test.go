@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"skysql/internal/skyline"
+	"skysql/internal/types"
+)
+
+func row(vals ...int64) types.Row {
+	out := make(types.Row, len(vals))
+	for i, v := range vals {
+		out[i] = types.Int(v)
+	}
+	return out
+}
+
+func TestIncrementalBasics(t *testing.T) {
+	inc := NewIncremental([]skyline.Dir{skyline.Min, skyline.Max}, false)
+	ev, err := inc.Add(row(50, 7), row(50, 7))
+	if err != nil || !ev.Admitted {
+		t.Fatalf("first tuple must be admitted: %+v %v", ev, err)
+	}
+	// Dominated arrival: rejected, no eviction.
+	ev, err = inc.Add(row(55, 7), row(55, 7))
+	if err != nil || ev.Admitted || len(ev.Evicted) != 0 {
+		t.Fatalf("dominated arrival: %+v %v", ev, err)
+	}
+	// Dominating arrival: admitted, evicts the previous point.
+	ev, err = inc.Add(row(45, 8), row(45, 8))
+	if err != nil || !ev.Admitted || len(ev.Evicted) != 1 {
+		t.Fatalf("dominating arrival: %+v %v", ev, err)
+	}
+	if inc.Size() != 1 || inc.Seen() != 3 {
+		t.Errorf("size=%d seen=%d", inc.Size(), inc.Seen())
+	}
+	if inc.Stats().DominanceTests() == 0 {
+		t.Error("stats not counted")
+	}
+}
+
+func TestIncrementalRejectsNulls(t *testing.T) {
+	inc := NewIncremental([]skyline.Dir{skyline.Min}, false)
+	if _, err := inc.Add(types.Row{types.Null}, nil); err == nil {
+		t.Error("NULL dimension must be rejected")
+	}
+}
+
+func TestIncrementalDimensionMismatch(t *testing.T) {
+	inc := NewIncremental([]skyline.Dir{skyline.Min, skyline.Min}, false)
+	if _, err := inc.Add(row(1), nil); err == nil {
+		t.Error("width mismatch must error")
+	}
+}
+
+func TestIncrementalDistinct(t *testing.T) {
+	inc := NewIncremental([]skyline.Dir{skyline.Min, skyline.Min}, true)
+	inc.Add(row(1, 1), row(1, 1))
+	ev, err := inc.Add(row(1, 1), row(1, 1))
+	if err != nil || ev.Admitted {
+		t.Errorf("duplicate must be rejected under DISTINCT: %+v %v", ev, err)
+	}
+	incN := NewIncremental([]skyline.Dir{skyline.Min, skyline.Min}, false)
+	incN.Add(row(1, 1), row(1, 1))
+	ev, _ = incN.Add(row(1, 1), row(1, 1))
+	if !ev.Admitted {
+		t.Error("duplicate must be kept without DISTINCT")
+	}
+}
+
+func TestIncrementalMatchesBatchBNL(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dirs := []skyline.Dir{skyline.Min, skyline.Max, skyline.Min}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(300)
+		pts := make([]skyline.Point, n)
+		inc := NewIncremental(dirs, false)
+		for i := range pts {
+			r := row(int64(rng.Intn(12)), int64(rng.Intn(12)), int64(rng.Intn(12)))
+			pts[i] = skyline.Point{Dims: r, Row: r}
+			if _, err := inc.Add(r, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := skyline.BNL(pts, dirs, false, skyline.Compare, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := inc.Skyline()
+		if len(got) != len(want) {
+			t.Fatalf("incremental size %d != batch %d", len(got), len(want))
+		}
+		g := make([]string, len(got))
+		w := make([]string, len(want))
+		for i := range got {
+			g[i] = got[i].Dims.String()
+			w[i] = want[i].Dims.String()
+		}
+		sort.Strings(g)
+		sort.Strings(w)
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("incremental %v != batch %v", g, w)
+			}
+		}
+	}
+}
+
+func TestEvictionEventsAreConsistent(t *testing.T) {
+	// Every evicted point must have been in the skyline immediately
+	// before, and the net size change must match.
+	rng := rand.New(rand.NewSource(29))
+	dirs := []skyline.Dir{skyline.Min, skyline.Min}
+	inc := NewIncremental(dirs, false)
+	for i := 0; i < 500; i++ {
+		before := inc.Size()
+		r := row(int64(rng.Intn(30)), int64(rng.Intn(30)))
+		ev, err := inc.Add(r, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := inc.Size()
+		switch {
+		case ev.Admitted && after != before-len(ev.Evicted)+1:
+			t.Fatalf("admitted: size %d -> %d with %d evictions", before, after, len(ev.Evicted))
+		case !ev.Admitted && (after != before || len(ev.Evicted) != 0):
+			t.Fatalf("rejected arrival must not change the skyline")
+		}
+	}
+}
+
+func TestSkylineReturnsCopy(t *testing.T) {
+	inc := NewIncremental([]skyline.Dir{skyline.Min}, false)
+	inc.Add(row(5), row(5))
+	snap := inc.Skyline()
+	snap[0] = skyline.Point{}
+	if inc.Skyline()[0].Dims == nil {
+		t.Error("Skyline must return a copy")
+	}
+}

@@ -1,0 +1,91 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRowClone(t *testing.T) {
+	r := Row{Int(1), Str("a")}
+	c := r.Clone()
+	c[0] = Int(9)
+	if r[0].AsInt() != 1 {
+		t.Error("Clone must not alias the original row")
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{Int(1), Null, Str("x")}
+	if got := r.String(); got != "[1 | NULL | x]" {
+		t.Errorf("Row.String() = %q", got)
+	}
+}
+
+func TestSchemaResolve(t *testing.T) {
+	s := NewSchema(
+		Field{Name: "id", Qualifier: "h", Type: KindInt},
+		Field{Name: "price", Qualifier: "h", Type: KindFloat},
+		Field{Name: "price", Qualifier: "r", Type: KindFloat},
+	)
+	if i, err := s.Resolve("h", "price"); err != nil || i != 1 {
+		t.Errorf("Resolve(h.price) = %d, %v", i, err)
+	}
+	if i, err := s.Resolve("", "id"); err != nil || i != 0 {
+		t.Errorf("Resolve(id) = %d, %v", i, err)
+	}
+	if _, err := s.Resolve("", "price"); err == nil {
+		t.Error("unqualified ambiguous reference must error")
+	}
+	if _, err := s.Resolve("", "missing"); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, err := s.Resolve("x", "id"); err == nil {
+		t.Error("wrong qualifier must error")
+	}
+}
+
+func TestSchemaResolveCaseInsensitive(t *testing.T) {
+	s := NewSchema(Field{Name: "Price", Qualifier: "H"})
+	if i, err := s.Resolve("h", "PRICE"); err != nil || i != 0 {
+		t.Errorf("case-insensitive Resolve = %d, %v", i, err)
+	}
+}
+
+func TestSchemaWithQualifierAndConcat(t *testing.T) {
+	a := NewSchema(Field{Name: "x"}, Field{Name: "y"})
+	b := a.WithQualifier("t")
+	if b.Fields[0].Qualifier != "t" || b.Fields[1].Qualifier != "t" {
+		t.Error("WithQualifier must set every field")
+	}
+	if a.Fields[0].Qualifier != "" {
+		t.Error("WithQualifier must not mutate the receiver")
+	}
+	c := a.Concat(b)
+	if c.Len() != 4 {
+		t.Errorf("Concat length = %d, want 4", c.Len())
+	}
+}
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := NewSchema(Field{Name: "a"}, Field{Name: "b"})
+	if s.IndexOf("b") != 1 {
+		t.Error("IndexOf(b) != 1")
+	}
+	if s.IndexOf("z") != -1 {
+		t.Error("IndexOf(z) != -1")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := NewSchema(Field{Name: "a", Type: KindInt, Nullable: true})
+	if got := s.String(); !strings.Contains(got, "a:BIGINT?") {
+		t.Errorf("Schema.String() = %q", got)
+	}
+}
+
+func TestRowMemSize(t *testing.T) {
+	r := Row{Int(1), Str("abc")}
+	if r.MemSize() <= 24 {
+		t.Error("row MemSize must exceed the header size")
+	}
+}

@@ -1,0 +1,226 @@
+// Package types defines the value model shared by every layer of the engine:
+// scalar values with SQL null semantics, rows, data types, and schemas.
+//
+// Values are stored in a compact struct (no interface boxing) so that the
+// inner loops of skyline dominance testing and join probing do not allocate.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime kinds a Value can take.
+type Kind uint8
+
+// The supported value kinds. KindNull is the zero value, so the zero Value
+// is SQL NULL, which keeps freshly allocated rows well-defined.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the runtime kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics if the kind is not KindInt;
+// use Coerce or CompareValues for kind-flexible access.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("types: AsInt on %s value", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload, widening integers.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("types: AsFloat on %s value", v.kind))
+}
+
+// AsString returns the string payload. It panics for non-string kinds.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("types: AsString on %s value", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics for non-bool kinds.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("types: AsBool on %s value", v.kind))
+	}
+	return v.b
+}
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value the way a query shell would print it.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// MemSize estimates the in-memory footprint of the value in bytes. It is
+// used by the cluster runtime's memory accounting.
+func (v Value) MemSize() int64 {
+	const base = 40 // struct header
+	if v.kind == KindString {
+		return base + int64(len(v.s))
+	}
+	return base
+}
+
+// Equal reports SQL equality treating NULL = NULL as true (used for
+// grouping, DISTINCT and DIFF dimensions, which follow grouping semantics).
+func (v Value) Equal(o Value) bool {
+	c, ok := CompareValues(v, o)
+	if v.IsNull() && o.IsNull() {
+		return true
+	}
+	return ok && c == 0
+}
+
+// CompareValues compares two non-null-compatible values. The boolean result
+// is false when the values are incomparable (either is NULL, or the kinds
+// cannot be ordered against each other). Numeric kinds compare cross-kind.
+func CompareValues(a, b Value) (int, bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	switch {
+	case a.kind == KindInt && b.kind == KindInt:
+		switch {
+		case a.i < b.i:
+			return -1, true
+		case a.i > b.i:
+			return 1, true
+		}
+		return 0, true
+	case a.IsNumeric() && b.IsNumeric():
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		case math.IsNaN(af) && math.IsNaN(bf):
+			return 0, true
+		case math.IsNaN(af):
+			return -1, true
+		case math.IsNaN(bf):
+			return 1, true
+		}
+		return 0, true
+	case a.kind == KindString && b.kind == KindString:
+		switch {
+		case a.s < b.s:
+			return -1, true
+		case a.s > b.s:
+			return 1, true
+		}
+		return 0, true
+	case a.kind == KindBool && b.kind == KindBool:
+		ab, bb := 0, 0
+		if a.b {
+			ab = 1
+		}
+		if b.b {
+			bb = 1
+		}
+		return ab - bb, true
+	}
+	return 0, false
+}
+
+// GroupKey renders a value into a canonical string usable as a map key for
+// grouping: NULLs group together and 1 groups with 1.0.
+func (v Value) GroupKey() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00N"
+	case KindInt:
+		return "\x01" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindFloat:
+		return "\x01" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "\x02" + v.s
+	case KindBool:
+		if v.b {
+			return "\x03t"
+		}
+		return "\x03f"
+	}
+	return "\x04"
+}

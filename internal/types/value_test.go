@@ -1,0 +1,211 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("kind = %v, want KindNull", v.Kind())
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := Int(7).AsInt(); got != 7 {
+		t.Errorf("Int(7).AsInt() = %d", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %g", got)
+	}
+	if got := Str("x").AsString(); got != "x" {
+		t.Errorf("Str(x).AsString() = %q", got)
+	}
+	if got := Bool(true).AsBool(); !got {
+		t.Errorf("Bool(true).AsBool() = false")
+	}
+	if got := Int(3).AsFloat(); got != 3.0 {
+		t.Errorf("Int(3).AsFloat() = %g, want widening", got)
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"AsInt on string", func() { Str("a").AsInt() }},
+		{"AsString on int", func() { Int(1).AsString() }},
+		{"AsBool on float", func() { Float(1).AsBool() }},
+		{"AsFloat on bool", func() { Bool(true).AsFloat() }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	tests := []struct {
+		a, b   Value
+		cmp    int
+		compOK bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Int(1), Float(1.5), -1, true},
+		{Float(2.5), Int(2), 1, true},
+		{Float(1.0), Int(1), 0, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Null, Int(1), 0, false},
+		{Int(1), Null, 0, false},
+		{Null, Null, 0, false},
+		{Int(1), Str("1"), 0, false},
+		{Bool(true), Int(1), 0, false},
+	}
+	for _, tt := range tests {
+		c, ok := CompareValues(tt.a, tt.b)
+		if ok != tt.compOK {
+			t.Errorf("CompareValues(%v,%v) ok = %v, want %v", tt.a, tt.b, ok, tt.compOK)
+			continue
+		}
+		if ok && sign(c) != tt.cmp {
+			t.Errorf("CompareValues(%v,%v) = %d, want sign %d", tt.a, tt.b, c, tt.cmp)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := Float(math.NaN())
+	if c, ok := CompareValues(nan, nan); !ok || c != 0 {
+		t.Errorf("NaN vs NaN = %d,%v; want 0,true", c, ok)
+	}
+	if c, ok := CompareValues(nan, Float(0)); !ok || c != -1 {
+		t.Errorf("NaN vs 0 = %d,%v; want -1,true (NaN sorts first)", c, ok)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Null.Equal(Null) {
+		t.Error("NULL must Equal NULL (grouping semantics)")
+	}
+	if Null.Equal(Int(0)) {
+		t.Error("NULL must not Equal 0")
+	}
+	if !Int(1).Equal(Float(1)) {
+		t.Error("1 must Equal 1.0")
+	}
+	if Int(1).Equal(Str("1")) {
+		t.Error("1 must not Equal '1'")
+	}
+}
+
+func TestGroupKey(t *testing.T) {
+	if Int(1).GroupKey() != Float(1).GroupKey() {
+		t.Error("1 and 1.0 must share a group key")
+	}
+	if Null.GroupKey() != Null.GroupKey() {
+		t.Error("NULL group keys must match")
+	}
+	if Int(0).GroupKey() == Null.GroupKey() {
+		t.Error("0 and NULL must not share a group key")
+	}
+	if Str("t").GroupKey() == Bool(true).GroupKey() {
+		t.Error("'t' and true must not share a group key")
+	}
+	if Int(1).GroupKey() == Str("1").GroupKey() {
+		t.Error("1 and '1' must not share a group key")
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, ok1 := CompareValues(Int(a), Int(b))
+		c2, ok2 := CompareValues(Int(b), Int(a))
+		return ok1 && ok2 && sign(c1) == -sign(c2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		va, vb, vc := Float(a), Float(b), Float(c)
+		ab, _ := CompareValues(va, vb)
+		bc, _ := CompareValues(vb, vc)
+		ac, _ := CompareValues(va, vc)
+		if ab <= 0 && bc <= 0 {
+			return ac <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{Str("hi"), "hi"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("%#v.String() = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindNull: "NULL", KindInt: "BIGINT", KindFloat: "DOUBLE",
+		KindString: "STRING", KindBool: "BOOLEAN",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestMemSize(t *testing.T) {
+	if Int(1).MemSize() <= 0 {
+		t.Error("MemSize must be positive")
+	}
+	if Str("hello").MemSize() <= Str("").MemSize() {
+		t.Error("longer strings must report larger MemSize")
+	}
+}

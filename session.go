@@ -1,0 +1,201 @@
+package skysql
+
+import (
+	"fmt"
+
+	"skysql/internal/catalog"
+	"skysql/internal/cluster"
+	"skysql/internal/core"
+	"skysql/internal/physical"
+)
+
+// Session is the entry point of the engine: it owns the catalog and the
+// execution configuration, and compiles SQL strings or DataFrame plans
+// into runnable queries.
+type Session struct {
+	engine    *core.Engine
+	executors int
+	strategy  SkylineStrategy
+	simulate  bool
+	windowCap int
+}
+
+// Option configures a session.
+type Option func(*Session)
+
+// WithExecutors sets the parallelism budget (the paper's executor-count
+// parameter; default 4).
+func WithExecutors(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.executors = n
+		}
+	}
+}
+
+// WithSkylineStrategy overrides the automatic algorithm selection of the
+// paper's Listing 8.
+func WithSkylineStrategy(st SkylineStrategy) Option {
+	return func(s *Session) { s.strategy = st }
+}
+
+// WithSimulatedTime switches query timing into discrete-event mode: tasks
+// of a parallel stage execute one at a time and the reported duration is
+// the makespan the configured executor count would achieve. Use it to
+// study executor scaling on machines with fewer cores than executors (it
+// is how the evaluation harness reproduces the paper's cluster results).
+func WithSimulatedTime() Option {
+	return func(s *Session) { s.simulate = true }
+}
+
+// WithSkylineWindow bounds the Block-Nested-Loop window of the complete
+// skyline algorithms to n tuples; the engine then uses the original BNL's
+// multi-pass overflow handling instead of growing the window without
+// limit. 0 (the default) means unbounded.
+func WithSkylineWindow(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.windowCap = n
+		}
+	}
+}
+
+// NewSession creates a session with an empty catalog.
+func NewSession(opts ...Option) *Session {
+	s := &Session{
+		engine:    core.NewEngine(catalog.New()),
+		executors: 4,
+		strategy:  Auto,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Executors returns the configured parallelism budget.
+func (s *Session) Executors() int { return s.executors }
+
+// SetExecutors changes the parallelism budget for subsequent queries.
+func (s *Session) SetExecutors(n int) {
+	if n > 0 {
+		s.executors = n
+	}
+}
+
+// CreateTable registers an in-memory table.
+func (s *Session) CreateTable(name string, schema *Schema, rows []Row) error {
+	t, err := catalog.NewTable(name, schema, rows)
+	if err != nil {
+		return err
+	}
+	s.engine.Catalog.Register(t)
+	return nil
+}
+
+// MustCreateTable is CreateTable panicking on error; intended for examples
+// and tests.
+func (s *Session) MustCreateTable(name string, schema *Schema, rows []Row) {
+	if err := s.CreateTable(name, schema, rows); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterTable attaches an already-built table (e.g. from a generator or
+// CSV loader) to the session catalog.
+func (s *Session) RegisterTable(t *catalog.Table) { s.engine.Catalog.Register(t) }
+
+// LoadCSV loads a CSV file as a table; kinds gives the column types in
+// header order.
+func (s *Session) LoadCSV(name, path string, kinds []Kind) error {
+	t, err := catalog.LoadCSVFile(name, path, kinds)
+	if err != nil {
+		return err
+	}
+	s.engine.Catalog.Register(t)
+	return nil
+}
+
+// DropTable removes a table from the catalog.
+func (s *Session) DropTable(name string) { s.engine.Catalog.Drop(name) }
+
+// Tables lists the registered table names.
+func (s *Session) Tables() []string { return s.engine.Catalog.Names() }
+
+// SQL compiles a query string into a lazy DataFrame.
+func (s *Session) SQL(query string) (*DataFrame, error) {
+	c, err := s.engine.CompileSQL(query, physical.Options{Strategy: s.strategy, SkylineWindowCap: s.windowCap})
+	if err != nil {
+		return nil, err
+	}
+	return &DataFrame{sess: s, compiled: c}, nil
+}
+
+// Query compiles and executes a query string, returning the rows.
+func (s *Session) Query(query string) ([]Row, error) {
+	df, err := s.SQL(query)
+	if err != nil {
+		return nil, err
+	}
+	return df.Collect()
+}
+
+// Explain compiles the query and renders the analyzed, optimized, and
+// physical plans.
+func (s *Session) Explain(query string) (string, error) {
+	c, err := s.engine.CompileSQL(query, physical.Options{Strategy: s.strategy, SkylineWindowCap: s.windowCap})
+	if err != nil {
+		return "", err
+	}
+	return c.Explain(), nil
+}
+
+// RewriteSkyline produces the plain-SQL "reference" formulation of a
+// skyline query (paper Listing 4) — useful for comparing the integrated
+// operator with the rewriting the paper benchmarks against. incomplete
+// selects the null-aware dominance conditions of §3.
+func (s *Session) RewriteSkyline(query string, incomplete bool) (string, error) {
+	return core.RewriteSkylineStatement(query, incomplete)
+}
+
+// run executes a compiled query with the session configuration.
+func (s *Session) run(c *core.Compiled) (*core.Result, error) {
+	ctx := cluster.NewContext(s.executors)
+	ctx.Simulate = s.simulate
+	return s.engine.RunCtx(c, ctx)
+}
+
+// FormatRows renders rows as an aligned text table for display.
+func FormatRows(schema *Schema, rows []Row) string {
+	widths := make([]int, schema.Len())
+	header := make([]string, schema.Len())
+	for i, f := range schema.Fields {
+		header[i] = f.Name
+		widths[i] = len(f.Name)
+	}
+	cells := make([][]string, len(rows))
+	for r, row := range rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = v.String()
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	line := func(parts []string) string {
+		out := ""
+		for i, p := range parts {
+			out += fmt.Sprintf("%-*s", widths[i], p)
+			if i < len(parts)-1 {
+				out += "  "
+			}
+		}
+		return out + "\n"
+	}
+	out := line(header)
+	for _, row := range cells {
+		out += line(row)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+// Package skysql is a distributed SQL query engine with native skyline
+// query support, a Go reproduction of "Integration of Skyline Queries into
+// Spark SQL" (Grasmann, Pichler, Selzer — EDBT 2023).
+//
+// The engine accepts standard SELECT statements extended with the paper's
+// skyline clause:
+//
+//	SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ...
+//	SKYLINE OF [DISTINCT] [COMPLETE] dim {MIN|MAX|DIFF}, ...
+//	ORDER BY ... LIMIT ...
+//
+// and also exposes a DataFrame-style API where skyline dimensions are
+// given with Smin, Smax and Sdiff, mirroring the paper's §5.8:
+//
+//	sess := skysql.NewSession(skysql.WithExecutors(5))
+//	sess.MustCreateTable("hotels", fields, rows)
+//	df, err := sess.Table("hotels").
+//		Skyline(skysql.Smin("price"), skysql.Smax("user_rating")).
+//		Collect()
+//
+// Queries run on a simulated cluster: a pool of executor workers over
+// partitioned data with explicit exchanges, so that the paper's
+// distributed algorithm behaviour (local vs global skylines, null-bitmap
+// partitioning for incomplete data, AllTuples gathering) is preserved.
+package skysql
+
+import (
+	"skysql/internal/catalog"
+	"skysql/internal/cluster"
+	"skysql/internal/physical"
+	"skysql/internal/types"
+)
+
+// Re-exported value model, so callers never import internal packages.
+type (
+	// Value is a SQL scalar (BIGINT, DOUBLE, STRING, BOOLEAN or NULL).
+	Value = types.Value
+	// Row is one result tuple.
+	Row = types.Row
+	// Kind is a column type.
+	Kind = types.Kind
+	// Field describes one column of a table schema.
+	Field = types.Field
+	// Schema is an ordered list of fields.
+	Schema = types.Schema
+	// Metrics carries execution counters of the last Collect.
+	Metrics = cluster.Metrics
+)
+
+// Column kinds.
+const (
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+	KindBool   = types.KindBool
+)
+
+// Scalar constructors.
+var (
+	// Null is the SQL NULL value.
+	Null = types.Null
+)
+
+// Int makes a BIGINT value.
+func Int(v int64) Value { return types.Int(v) }
+
+// Float makes a DOUBLE value.
+func Float(v float64) Value { return types.Float(v) }
+
+// Str makes a STRING value.
+func Str(v string) Value { return types.Str(v) }
+
+// Bool makes a BOOLEAN value.
+func Bool(v bool) Value { return types.Bool(v) }
+
+// NewSchema builds a schema from fields.
+func NewSchema(fields ...Field) *Schema { return types.NewSchema(fields...) }
+
+// SkylineStrategy selects the physical skyline algorithm; see the paper's
+// §6.3 for the algorithm family names.
+type SkylineStrategy = physical.SkylineStrategy
+
+// Skyline strategies. Auto is the paper's Listing 8 behaviour.
+const (
+	Auto                    = physical.SkylineAuto
+	DistributedComplete     = physical.SkylineDistributedComplete
+	NonDistributedComplete  = physical.SkylineNonDistributedComplete
+	DistributedIncomplete   = physical.SkylineDistributedIncomplete
+	SortFilterSkyline       = physical.SkylineSFS
+	DivideAndConquerSkyline = physical.SkylineDivideAndConquer
+	GridComplete            = physical.SkylineGridComplete
+	AngleComplete           = physical.SkylineAngleComplete
+	ZorderComplete          = physical.SkylineZorderComplete
+	CostBased               = physical.SkylineCostBased
+)
+
+// NewTable validates and builds a table that can be attached to a session
+// via RegisterTable.
+func NewTable(name string, schema *Schema, rows []Row) (*catalog.Table, error) {
+	return catalog.NewTable(name, schema, rows)
+}

@@ -1,0 +1,396 @@
+package skysql_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"skysql"
+)
+
+func hotelSession(t testing.TB) *skysql.Session {
+	sess := skysql.NewSession(skysql.WithExecutors(3))
+	schema := skysql.NewSchema(
+		skysql.Field{Name: "id", Type: skysql.KindInt},
+		skysql.Field{Name: "price", Type: skysql.KindInt},
+		skysql.Field{Name: "user_rating", Type: skysql.KindInt},
+	)
+	rows := []skysql.Row{
+		{skysql.Int(1), skysql.Int(50), skysql.Int(7)},
+		{skysql.Int(2), skysql.Int(60), skysql.Int(9)},
+		{skysql.Int(3), skysql.Int(80), skysql.Int(9)},
+		{skysql.Int(4), skysql.Int(40), skysql.Int(5)},
+		{skysql.Int(5), skysql.Int(55), skysql.Int(7)},
+		{skysql.Int(6), skysql.Int(45), skysql.Int(8)},
+	}
+	if err := sess.CreateTable("hotels", schema, rows); err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func rowsToStrings(rows []skysql.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSessionSQLSkyline(t *testing.T) {
+	sess := hotelSession(t)
+	rows, err := sess.Query("SELECT price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("skyline = %v", rows)
+	}
+}
+
+func TestDataFrameSkylineMatchesSQL(t *testing.T) {
+	sess := hotelSession(t)
+	sqlRows, err := sess.Query("SELECT id, price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := sess.Table("hotels").
+		Skyline([]skysql.SkylineDim{skysql.Smin("price"), skysql.Smax("user_rating")}).
+		Select("id", "price", "user_rating")
+	dfRows, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rowsToStrings(sqlRows), rowsToStrings(dfRows)
+	if strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Fatalf("DataFrame %v != SQL %v", b, a)
+	}
+	if df.Metrics() == nil || df.Metrics().Sky.DominanceTests() == 0 {
+		t.Error("metrics not recorded")
+	}
+	if df.Duration() <= 0 {
+		t.Error("duration not recorded")
+	}
+}
+
+func TestDataFrameFluentChain(t *testing.T) {
+	sess := hotelSession(t)
+	rows, err := sess.Table("hotels").
+		Where("price < 70").
+		GroupBy("user_rating").
+		Agg("user_rating", "count(*) AS n", "min(price) AS cheapest").
+		OrderByDesc("user_rating").
+		Limit(3).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].AsInt() != 9 || rows[0][2].AsInt() != 60 {
+		t.Errorf("first row = %v", rows[0])
+	}
+}
+
+func TestDataFrameJoinAndAlias(t *testing.T) {
+	sess := hotelSession(t)
+	cities := skysql.NewSchema(
+		skysql.Field{Name: "hotel_id", Type: skysql.KindInt},
+		skysql.Field{Name: "city", Type: skysql.KindString},
+	)
+	sess.MustCreateTable("cities", cities, []skysql.Row{
+		{skysql.Int(1), skysql.Str("vienna")},
+		{skysql.Int(2), skysql.Str("graz")},
+	})
+	rows, err := sess.Table("hotels").Alias("h").
+		Join(sess.Table("cities").Alias("c"), "inner", "h.id = c.hotel_id").
+		Select("h.id", "c.city").
+		OrderBy("h.id").
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][1].AsString() != "vienna" {
+		t.Fatalf("join rows = %v", rows)
+	}
+}
+
+func TestDataFrameSkylineOptions(t *testing.T) {
+	sess := hotelSession(t)
+	df := sess.Table("hotels").Skyline(
+		[]skysql.SkylineDim{skysql.Sdiff("user_rating"), skysql.Smin("price")},
+		skysql.SkylineDistinct(), skysql.SkylineComplete(),
+	)
+	rows, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("per-rating minima = %v", rows)
+	}
+	plan, err := df.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "DISTINCT COMPLETE") {
+		t.Errorf("flags missing from plan:\n%s", plan)
+	}
+}
+
+func TestDataFrameErrors(t *testing.T) {
+	sess := hotelSession(t)
+	cases := []*skysql.DataFrame{
+		sess.Table("hotels").Filter("?!bad"),
+		sess.Table("hotels").Select("count(a,b)"),
+		sess.Table("missing").Select("x"),
+		sess.Table("hotels").Skyline(nil),
+		sess.Table("hotels").Join(sess.Table("hotels"), "sideways", "1=1"),
+		sess.Table("hotels").Join(sess.Table("hotels"), "inner", ""),
+	}
+	for i, df := range cases {
+		if _, err := df.Collect(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSQLDataFrameCannotBeExtended(t *testing.T) {
+	sess := hotelSession(t)
+	df, err := sess.SQL("SELECT * FROM hotels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.Filter("price > 1").Collect(); err == nil {
+		t.Error("extending a SQL DataFrame must error")
+	}
+}
+
+func TestStrategyOption(t *testing.T) {
+	for _, st := range []skysql.SkylineStrategy{
+		skysql.Auto, skysql.DistributedComplete, skysql.NonDistributedComplete,
+		skysql.DistributedIncomplete, skysql.SortFilterSkyline, skysql.DivideAndConquerSkyline,
+	} {
+		sess := hotelSession(t)
+		sessOpt := skysql.NewSession(skysql.WithExecutors(2), skysql.WithSkylineStrategy(st))
+		_ = sessOpt
+		sess2 := hotelSession(t)
+		_ = sess2
+		rows, err := sess.Query("SELECT price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX")
+		if err != nil {
+			t.Fatalf("strategy %v: %v", st, err)
+		}
+		if len(rows) != 3 {
+			t.Errorf("strategy %v: %d rows", st, len(rows))
+		}
+	}
+}
+
+func TestRewriteSkylineAPI(t *testing.T) {
+	sess := hotelSession(t)
+	ref, err := sess.RewriteSkyline("SELECT * FROM hotels SKYLINE OF price MIN, user_rating MAX", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows, err := sess.Query(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intRows, err := sess.Query("SELECT * FROM hotels SKYLINE OF price MIN, user_rating MAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(rowsToStrings(refRows), ";") != strings.Join(rowsToStrings(intRows), ";") {
+		t.Error("reference and integrated results differ")
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.csv")
+	data := "id,price,rating\n1,50,7\n2,60,9\n3,,8\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sess := skysql.NewSession()
+	if err := sess.LoadCSV("h", path, []skysql.Kind{skysql.KindInt, skysql.KindInt, skysql.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sess.Query("SELECT id FROM h WHERE price IS NOT NULL SKYLINE OF price MIN, rating MAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("csv skyline = %v", rows)
+	}
+	if got := sess.Tables(); len(got) != 1 || got[0] != "h" {
+		t.Errorf("Tables = %v", got)
+	}
+	sess.DropTable("h")
+	if len(sess.Tables()) != 0 {
+		t.Error("DropTable failed")
+	}
+}
+
+func TestFormatRows(t *testing.T) {
+	sess := hotelSession(t)
+	df, err := sess.SQL("SELECT id, price FROM hotels ORDER BY id LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := df.Schema()
+	out := skysql.FormatRows(schema, rows)
+	if !strings.Contains(out, "id") || !strings.Contains(out, "50") {
+		t.Errorf("FormatRows output:\n%s", out)
+	}
+}
+
+func TestExplainSQL(t *testing.T) {
+	sess := hotelSession(t)
+	out, err := sess.Explain("SELECT * FROM hotels SKYLINE OF price MIN, user_rating MAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Skyline", "LocalSkylineExec", "GlobalSkylineExec", "AllTuples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q", want)
+		}
+	}
+}
+
+func TestSetExecutors(t *testing.T) {
+	sess := hotelSession(t)
+	sess.SetExecutors(10)
+	if sess.Executors() != 10 {
+		t.Error("SetExecutors failed")
+	}
+	sess.SetExecutors(0)
+	if sess.Executors() != 10 {
+		t.Error("SetExecutors must ignore non-positive values")
+	}
+}
+
+func TestSimulatedTimeOption(t *testing.T) {
+	sess := skysql.NewSession(skysql.WithExecutors(8), skysql.WithSimulatedTime())
+	schema := skysql.NewSchema(
+		skysql.Field{Name: "a", Type: skysql.KindInt},
+		skysql.Field{Name: "b", Type: skysql.KindInt},
+	)
+	rows := make([]skysql.Row, 2000)
+	for i := range rows {
+		rows[i] = skysql.Row{skysql.Int(int64(i % 97)), skysql.Int(int64(i % 83))}
+	}
+	sess.MustCreateTable("t", schema, rows)
+	df, err := sess.SQL("SELECT * FROM t SKYLINE OF a MIN, b MAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty skyline")
+	}
+	if df.Duration() < 0 {
+		t.Error("simulated duration must be non-negative")
+	}
+}
+
+func TestSkylineWindowOption(t *testing.T) {
+	unbounded := hotelSession(t)
+	bounded := skysql.NewSession(skysql.WithExecutors(3), skysql.WithSkylineWindow(1))
+	schema := skysql.NewSchema(
+		skysql.Field{Name: "id", Type: skysql.KindInt},
+		skysql.Field{Name: "price", Type: skysql.KindInt},
+		skysql.Field{Name: "user_rating", Type: skysql.KindInt},
+	)
+	rows := []skysql.Row{
+		{skysql.Int(1), skysql.Int(50), skysql.Int(7)},
+		{skysql.Int(2), skysql.Int(60), skysql.Int(9)},
+		{skysql.Int(3), skysql.Int(80), skysql.Int(9)},
+		{skysql.Int(4), skysql.Int(40), skysql.Int(5)},
+		{skysql.Int(5), skysql.Int(55), skysql.Int(7)},
+		{skysql.Int(6), skysql.Int(45), skysql.Int(8)},
+	}
+	bounded.MustCreateTable("hotels", schema, rows)
+	q := "SELECT id FROM hotels SKYLINE OF price MIN, user_rating MAX"
+	a, err := unbounded.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bounded.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(rowsToStrings(a), ";") != strings.Join(rowsToStrings(b), ";") {
+		t.Errorf("bounded window changed the result: %v vs %v", b, a)
+	}
+}
+
+func TestDataFrameRightAndCrossJoin(t *testing.T) {
+	sess := hotelSession(t)
+	extras := skysql.NewSchema(
+		skysql.Field{Name: "hotel_id", Type: skysql.KindInt},
+		skysql.Field{Name: "pool", Type: skysql.KindBool},
+	)
+	sess.MustCreateTable("extras", extras, []skysql.Row{
+		{skysql.Int(1), skysql.Bool(true)},
+		{skysql.Int(99), skysql.Bool(false)}, // no matching hotel
+	})
+	rows, err := sess.Table("hotels").Alias("h").
+		Join(sess.Table("extras").Alias("e"), "right", "h.id = e.hotel_id").
+		Select("e.hotel_id", "h.price").
+		OrderBy("e.hotel_id").
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("right join rows = %v", rows)
+	}
+	if !rows[1][1].IsNull() {
+		t.Errorf("unmatched right row must null-extend left: %v", rows[1])
+	}
+	cross, err := sess.Table("hotels").Join(sess.Table("extras"), "cross", "").Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross != 12 {
+		t.Errorf("cross join count = %d, want 12", cross)
+	}
+}
+
+func TestDataFrameDistinctAndCount(t *testing.T) {
+	sess := hotelSession(t)
+	n, err := sess.Table("hotels").Select("user_rating").Distinct().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("distinct ratings = %d, want 4", n)
+	}
+}
+
+func TestDataFrameChainedOrderBy(t *testing.T) {
+	sess := hotelSession(t)
+	rows, err := sess.Table("hotels").
+		Select("user_rating", "price").
+		OrderByDesc("user_rating").
+		OrderBy("price").
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rating desc, then price asc: (9,60), (9,80), (8,45), ...
+	if rows[0][1].AsInt() != 60 || rows[1][1].AsInt() != 80 {
+		t.Errorf("chained order = %v", rows[:2])
+	}
+}
