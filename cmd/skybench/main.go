@@ -12,8 +12,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,6 +30,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "dataset size multiplier")
 		timeout    = flag.Duration("timeout", 120*time.Second, "per-query timeout")
 		seed       = flag.Int64("seed", 1, "dataset generator seed")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON records (experiment id, wall time, rows shuffled, peak bytes, stages executed) instead of tables")
 	)
 	flag.Parse()
 
@@ -56,26 +59,58 @@ func main() {
 		os.Exit(2)
 	}
 
+	// In JSON mode the tables are discarded and every measurement is
+	// collected through the Observer hook instead.
+	records := []bench.Record{}
+	currentID := ""
+	tableOut := io.Writer(os.Stdout)
+	if *jsonOut {
+		tableOut = io.Discard
+		cfg.Observer = func(m bench.Measurement) {
+			records = append(records, bench.NewRecord(currentID, m))
+		}
+	}
+
 	run := func(e bench.Experiment) {
-		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		currentID = e.ID
+		if !*jsonOut {
+			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		}
 		start := time.Now()
-		if err := e.Run(cfg, os.Stdout); err != nil {
+		if err := e.Run(cfg, tableOut); err != nil {
 			fmt.Fprintf(os.Stderr, "skybench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if !*jsonOut {
+			fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
 	if *experiment == "all" {
 		for _, e := range bench.Experiments() {
 			run(e)
 		}
-		return
+	} else {
+		e, err := bench.ExperimentByID(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skybench:", err)
+			os.Exit(2)
+		}
+		run(e)
 	}
-	e, err := bench.ExperimentByID(*experiment)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "skybench:", err)
-		os.Exit(2)
+
+	if *jsonOut {
+		report := bench.Report{
+			Scale:          cfg.Scale,
+			Seed:           cfg.Seed,
+			TimeoutSeconds: cfg.Timeout.Seconds(),
+			Records:        records,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "skybench:", err)
+			os.Exit(1)
+		}
 	}
-	run(e)
 }

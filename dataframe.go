@@ -6,7 +6,6 @@ import (
 
 	"skysql/internal/core"
 	"skysql/internal/expr"
-	"skysql/internal/physical"
 	"skysql/internal/plan"
 	"skysql/internal/sql"
 )
@@ -283,7 +282,7 @@ func (df *DataFrame) compile() error {
 	if df.compiled != nil {
 		return nil
 	}
-	c, err := df.sess.engine.CompilePlan(df.logical, physical.Options{Strategy: df.sess.strategy, SkylineWindowCap: df.sess.windowCap})
+	c, err := df.sess.engine.CompilePlan(df.logical, df.sess.options())
 	if err != nil {
 		return err
 	}

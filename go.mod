@@ -1,0 +1,3 @@
+module skysql
+
+go 1.22

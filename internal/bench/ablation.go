@@ -29,6 +29,7 @@ func runAblation(cfg Config, w io.Writer) error {
 	}
 	n := cfg.scaled(20000)
 	const dims = 4
+	const executors = 5
 	for _, dist := range []datagen.Distribution{datagen.Correlated, datagen.Independent, datagen.AntiCorrelated} {
 		tab := datagen.Synthetic(dist, n, dims, datagen.Config{Seed: cfg.Seed, Complete: true})
 		cat := catalog.New()
@@ -42,12 +43,18 @@ func runAblation(cfg Config, w io.Writer) error {
 		fmt.Fprintf(w, "ablation | distribution=%s tuples=%d dimensions=%d\n", dist, n, dims)
 		fmt.Fprintf(w, "%-26s%12s%16s%12s\n", "algorithm", "time [s]", "dom. tests", "skyline")
 		for _, alg := range algs {
-			res, err := engine.Query(query, 5, physical.Options{Strategy: alg.Strategy})
+			res, err := engine.Query(query, executors, physical.Options{Strategy: alg.Strategy})
 			if err != nil {
 				return fmt.Errorf("ablation %s/%s: %w", dist, alg.Name, err)
 			}
 			fmt.Fprintf(w, "%-26s%12.3f%16d%12d\n",
 				alg.Name, res.Duration.Seconds(), res.Metrics.Sky.DominanceTests(), len(res.Rows))
+			if cfg.Observer != nil {
+				m := Measurement{Spec: Spec{Dataset: "synthetic_" + dist.String(), Complete: true,
+					Dimensions: dims, Tuples: n, Executors: executors, Algorithm: alg}}
+				cfg.fill(&m, res)
+				cfg.Observer(m)
+			}
 		}
 		fmt.Fprintln(w)
 	}

@@ -38,6 +38,10 @@ type Config struct {
 	// ExecutorOverheadMB models the fixed per-executor memory footprint
 	// (each Spark executor loads its full runtime; Appendix C).
 	ExecutorOverheadMB float64
+	// Observer, when non-nil, receives every completed measurement. The
+	// -json path of cmd/skybench uses it to collect machine-readable
+	// records while the tables render normally (or are discarded).
+	Observer func(Measurement)
 }
 
 // DefaultConfig returns the harness defaults.
@@ -73,9 +77,12 @@ type Measurement struct {
 	// PeakModelMB adds the per-executor runtime overhead to the data
 	// bytes, modelling the paper's Appendix C memory measurements.
 	PeakModelMB float64
-	ResultRows  int
-	TimedOut    bool
-	Err         error
+	// StagesExecuted counts the scheduled task rounds of the run; fused
+	// stage execution makes it smaller than the operator count.
+	StagesExecuted int64
+	ResultRows     int
+	TimedOut       bool
+	Err            error
 }
 
 // Seconds returns the runtime in seconds (for chart-style output).
@@ -189,8 +196,30 @@ func dirOf(s string) expr.SkylineDir {
 	return d
 }
 
-// Run executes one spec and returns its measurement.
+// fill populates the result-derived fields of a measurement from a
+// finished run; m.Spec must already be set (Executors feeds the
+// Appendix C memory model).
+func (c Config) fill(m *Measurement, res *core.Result) {
+	m.Duration = res.Duration
+	m.DominanceTests = res.Metrics.Sky.DominanceTests()
+	m.RowsShuffled = res.Metrics.RowsShuffled()
+	m.PeakDataBytes = res.Metrics.PeakBytes()
+	m.StagesExecuted = res.Metrics.StagesExecuted()
+	m.PeakModelMB = c.ExecutorOverheadMB*float64(m.Spec.Executors) + float64(m.PeakDataBytes)/1e6
+	m.ResultRows = len(res.Rows)
+}
+
+// Run executes one spec and returns its measurement, forwarding it to the
+// Observer when one is configured.
 func (c Config) Run(spec Spec) Measurement {
+	m := c.run(spec)
+	if c.Observer != nil {
+		c.Observer(m)
+	}
+	return m
+}
+
+func (c Config) run(spec Spec) Measurement {
 	m := Measurement{Spec: spec}
 	w, err := c.buildWorkload(spec)
 	if err != nil {
@@ -227,12 +256,7 @@ func (c Config) Run(spec Spec) Measurement {
 			m.Err = o.err
 			return m
 		}
-		m.Duration = o.res.Duration
-		m.DominanceTests = o.res.Metrics.Sky.DominanceTests()
-		m.RowsShuffled = o.res.Metrics.RowsShuffled()
-		m.PeakDataBytes = o.res.Metrics.PeakBytes()
-		m.PeakModelMB = c.ExecutorOverheadMB*float64(spec.Executors) + float64(m.PeakDataBytes)/1e6
-		m.ResultRows = len(o.res.Rows)
+		c.fill(&m, o.res)
 	case <-time.After(c.Timeout):
 		ctx.Cancel()
 		<-done // operators observe the cancel promptly; reclaim the worker

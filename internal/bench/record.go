@@ -1,0 +1,57 @@
+package bench
+
+// Record is one measurement in machine-readable form, the unit of the
+// skybench -json output. Future PRs append these documents to a
+// BENCH_*.json trajectory to track performance across changes.
+type Record struct {
+	Experiment     string  `json:"experiment"`
+	Dataset        string  `json:"dataset"`
+	Complete       bool    `json:"complete"`
+	Algorithm      string  `json:"algorithm"`
+	Dimensions     int     `json:"dimensions"`
+	Tuples         int     `json:"tuples"`
+	Executors      int     `json:"executors"`
+	WallSeconds    float64 `json:"wall_time_seconds"`
+	DominanceTests int64   `json:"dominance_tests"`
+	RowsShuffled   int64   `json:"rows_shuffled"`
+	PeakBytes      int64   `json:"peak_bytes"`
+	PeakModelMB    float64 `json:"peak_model_mb"`
+	StagesExecuted int64   `json:"stages_executed"`
+	ResultRows     int     `json:"result_rows"`
+	TimedOut       bool    `json:"timed_out"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// NewRecord flattens a measurement into a record tagged with the
+// experiment it belongs to.
+func NewRecord(experiment string, m Measurement) Record {
+	r := Record{
+		Experiment:     experiment,
+		Dataset:        m.Spec.Dataset,
+		Complete:       m.Spec.Complete,
+		Algorithm:      m.Spec.Algorithm.Name,
+		Dimensions:     m.Spec.Dimensions,
+		Tuples:         m.Spec.Tuples,
+		Executors:      m.Spec.Executors,
+		WallSeconds:    m.Seconds(),
+		DominanceTests: m.DominanceTests,
+		RowsShuffled:   m.RowsShuffled,
+		PeakBytes:      m.PeakDataBytes,
+		PeakModelMB:    m.PeakModelMB,
+		StagesExecuted: m.StagesExecuted,
+		ResultRows:     m.ResultRows,
+		TimedOut:       m.TimedOut,
+	}
+	if m.Err != nil {
+		r.Error = m.Err.Error()
+	}
+	return r
+}
+
+// Report is the top-level document of the skybench -json output.
+type Report struct {
+	Scale          float64  `json:"scale"`
+	Seed           int64    `json:"seed"`
+	TimeoutSeconds float64  `json:"timeout_seconds"`
+	Records        []Record `json:"records"`
+}

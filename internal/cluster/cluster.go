@@ -59,10 +59,29 @@ type Metrics struct {
 	rowsShuffled atomic.Int64
 	curBytes     atomic.Int64
 	peakBytes    atomic.Int64
+	stages       atomic.Int64
 
 	// Sky aggregates dominance-test counts across all skyline operators in
 	// the query.
 	Sky skyline.Stats
+}
+
+// AddStage records one scheduled stage: a wave of per-partition tasks
+// submitted in one MapPartitions round. Under stage-fused execution a
+// whole pipeline of narrow operators costs a single stage, where the
+// per-operator path pays one per operator.
+func (m *Metrics) AddStage() {
+	if m != nil {
+		m.stages.Add(1)
+	}
+}
+
+// StagesExecuted returns the number of scheduled task rounds (stages).
+func (m *Metrics) StagesExecuted() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.stages.Load()
 }
 
 // AddShuffled records rows moved through an exchange.
@@ -176,6 +195,7 @@ func (c *Context) MapPartitions(in *Dataset, fn func(i int, part []types.Row) ([
 	if n == 0 {
 		return &Dataset{}, nil
 	}
+	c.Metrics.AddStage()
 	if c.Simulate {
 		return c.mapPartitionsSimulated(in, out, fn)
 	}

@@ -273,3 +273,30 @@ func TestSimulatedCancel(t *testing.T) {
 		t.Error("canceled simulated map must error")
 	}
 }
+
+func TestStagesExecutedCountsTaskRounds(t *testing.T) {
+	ctx := NewContext(2)
+	d := NewDataset(rows(1), rows(2))
+	identity := func(i int, p []types.Row) ([]types.Row, error) { return p, nil }
+	if _, err := ctx.MapPartitions(d, identity); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.MapPartitions(d, identity); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Metrics.StagesExecuted(); got != 2 {
+		t.Errorf("stages = %d, want 2", got)
+	}
+	// Empty datasets schedule no tasks and count no stage.
+	if _, err := ctx.MapPartitions(&Dataset{}, identity); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Metrics.StagesExecuted(); got != 2 {
+		t.Errorf("stages after empty round = %d, want 2", got)
+	}
+	var nilM *Metrics
+	nilM.AddStage()
+	if nilM.StagesExecuted() != 0 {
+		t.Error("nil metrics must report 0 stages")
+	}
+}

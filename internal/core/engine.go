@@ -46,11 +46,13 @@ type Compiled struct {
 // Schema returns the output schema of the query.
 func (c *Compiled) Schema() *types.Schema { return c.Physical.Schema() }
 
-// Explain renders all three plan stages.
+// Explain renders all plan stages: both logical plans, the (stage-fused)
+// physical plan, and the exchange-bounded stage DAG the engine executes.
 func (c *Compiled) Explain() string {
 	return "== Analyzed Logical Plan ==\n" + plan.Format(c.Logical) +
 		"== Optimized Logical Plan ==\n" + plan.Format(c.Optimized) +
-		"== Physical Plan ==\n" + physical.Format(c.Physical)
+		"== Physical Plan ==\n" + physical.Format(c.Physical) +
+		"== Stages ==\n" + physical.FormatStages(c.Physical)
 }
 
 // CompileSQL parses, analyzes, optimizes, and physically plans a query.

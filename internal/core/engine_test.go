@@ -462,6 +462,46 @@ func TestExplainStages(t *testing.T) {
 			t.Errorf("Explain missing %q:\n%s", want, out)
 		}
 	}
+	// Stage-fused execution: EXPLAIN renders the stage DAG with fused
+	// pipelines and explicit exchange-bounded stage boundaries.
+	for _, want := range []string{"== Stages ==", "PipelineExec", "stage boundary", "fused operators"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing stage rendering %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStageFusionResultIdenticalThroughEngine(t *testing.T) {
+	e := newHotelEngine(t)
+	query := "SELECT price, user_rating FROM hotels WHERE price < 90 SKYLINE OF price MIN, user_rating MAX"
+	fused, err := e.CompileSQL(query, physical.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused, err := e.CompileSQL(query, physical.Options{DisableStageFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := e.Run(fused, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ures, err := e.Run(unfused, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fres.Rows) != len(ures.Rows) {
+		t.Fatalf("fused %d rows, unfused %d rows", len(fres.Rows), len(ures.Rows))
+	}
+	for i := range fres.Rows {
+		if fres.Rows[i].String() != ures.Rows[i].String() {
+			t.Errorf("row %d: fused %s, unfused %s", i, fres.Rows[i], ures.Rows[i])
+		}
+	}
+	if fres.Metrics.StagesExecuted() >= ures.Metrics.StagesExecuted() {
+		t.Errorf("fused must schedule fewer task rounds: fused %d, unfused %d",
+			fres.Metrics.StagesExecuted(), ures.Metrics.StagesExecuted())
+	}
 }
 
 func TestAlgorithmRegistry(t *testing.T) {

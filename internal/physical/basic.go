@@ -58,12 +58,13 @@ func (f *FilterExec) Schema() *types.Schema { return f.Child.Schema() }
 func (f *FilterExec) Children() []Operator  { return []Operator{f.Child} }
 func (f *FilterExec) String() string        { return "FilterExec " + f.Cond.String() }
 
-func (f *FilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
-	in, err := f.Child.Execute(ctx)
-	if err != nil {
-		return nil, err
-	}
-	out, err := ctx.MapPartitions(in, func(_ int, part []types.Row) ([]types.Row, error) {
+// NarrowChild implements NarrowOperator: filtering is a pure per-partition
+// pass, so it fuses into the enclosing stage.
+func (f *FilterExec) NarrowChild() Operator { return f.Child }
+
+// PartitionTransform returns the filter's per-partition closure.
+func (f *FilterExec) PartitionTransform(*cluster.Context) PartitionFn {
+	return func(_ int, part []types.Row) ([]types.Row, error) {
 		var keep []types.Row
 		for _, row := range part {
 			ok, err := expr.EvalPredicate(f.Cond, row)
@@ -75,7 +76,15 @@ func (f *FilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 			}
 		}
 		return keep, nil
-	})
+	}
+}
+
+func (f *FilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := f.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.MapPartitions(in, f.PartitionTransform(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -99,12 +108,13 @@ func (p *ProjectExec) Schema() *types.Schema { return p.schema }
 func (p *ProjectExec) Children() []Operator  { return []Operator{p.Child} }
 func (p *ProjectExec) String() string        { return "ProjectExec [" + exprStrings(p.Exprs) + "]" }
 
-func (p *ProjectExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
-	in, err := p.Child.Execute(ctx)
-	if err != nil {
-		return nil, err
-	}
-	out, err := ctx.MapPartitions(in, func(_ int, part []types.Row) ([]types.Row, error) {
+// NarrowChild implements NarrowOperator: projection is a pure
+// per-partition pass, so it fuses into the enclosing stage.
+func (p *ProjectExec) NarrowChild() Operator { return p.Child }
+
+// PartitionTransform returns the projection's per-partition closure.
+func (p *ProjectExec) PartitionTransform(*cluster.Context) PartitionFn {
+	return func(_ int, part []types.Row) ([]types.Row, error) {
 		res := make([]types.Row, len(part))
 		for ri, row := range part {
 			nr := make(types.Row, len(p.Exprs))
@@ -118,7 +128,15 @@ func (p *ProjectExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 			res[ri] = nr
 		}
 		return res, nil
-	})
+	}
+}
+
+func (p *ProjectExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := p.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.MapPartitions(in, p.PartitionTransform(ctx))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package physical
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"skysql/internal/cluster"
@@ -43,6 +45,8 @@ func TestOperatorInterfaceContracts(t *testing.T) {
 		&ExtremumFilterExec{E: refA, Child: scan},
 		&LocalSkylineExec{Dims: dims, Child: scan},
 		&LocalSkylineExec{Dims: dims, Incomplete: true, WindowCap: 2, Child: scan},
+		&LocalLimitExec{N: 1, Child: scan},
+		&PipelineExec{Ops: []NarrowOperator{&FilterExec{Cond: expr.NewBinary(expr.OpGt, refA, expr.NewLiteral(types.Int(0))), Child: scan}}, Source: scan},
 		&GlobalSkylineExec{Dims: dims, Algorithm: GlobalBNL, WindowCap: 1, Child: scan},
 		&GlobalSkylineExec{Dims: dims, Algorithm: GlobalIncompleteFlags, Child: scan},
 		&GlobalSkylineExec{Dims: dims, Algorithm: GlobalSFS, Child: scan},
@@ -109,5 +113,285 @@ func TestStrategyStrings(t *testing.T) {
 	}
 	if SkylineStrategy(99).String() != "?" {
 		t.Error("unknown strategy String")
+	}
+}
+
+// ---- Stage-fusion contracts ----
+
+func rowStrings(rows []types.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// execBoth runs the same operator tree unfused and through the stage
+// compiler, returning both row sequences and both contexts.
+func execBoth(t *testing.T, op Operator, executors int) (unfused, fused []types.Row, uctx, fctx *cluster.Context) {
+	t.Helper()
+	uctx = cluster.NewContext(executors)
+	var err error
+	unfused, err = Execute(op, uctx)
+	if err != nil {
+		t.Fatalf("unfused execute: %v", err)
+	}
+	fctx = cluster.NewContext(executors)
+	fusedOp := CompileStages(op)
+	fused, err = Execute(fusedOp, fctx)
+	if err != nil {
+		t.Fatalf("fused execute: %v", err)
+	}
+	return unfused, fused, uctx, fctx
+}
+
+func assertSameRows(t *testing.T, label string, unfused, fused []types.Row) {
+	t.Helper()
+	us, fs := rowStrings(unfused), rowStrings(fused)
+	if len(us) != len(fs) {
+		t.Fatalf("%s: row counts differ: unfused %d, fused %d", label, len(us), len(fs))
+	}
+	for i := range us {
+		if us[i] != fs[i] {
+			t.Fatalf("%s: row %d differs: unfused %s, fused %s", label, i, us[i], fs[i])
+		}
+	}
+}
+
+// TestFusedUnfusedEquivalenceRandomChains is the fused-vs-unfused
+// equivalence contract over randomized operator chains: random
+// filter/project/limit/local-skyline chains interleaved with random
+// exchange distributions must produce identical row sequences whether
+// executed per-operator or stage-fused, and fusion must never schedule
+// more task rounds.
+func TestFusedUnfusedEquivalenceRandomChains(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		nRows := 20 + r.Intn(60)
+		data := make([][]int64, nRows)
+		for i := range data {
+			data[i] = []int64{int64(r.Intn(10)), int64(r.Intn(10)), int64(r.Intn(10))}
+		}
+		tab := intTable(t, fmt.Sprintf("t%d", trial), []string{"a", "b", "c"}, data)
+		var op Operator = scanOf(t, tab)
+		width := 3
+		steps := 1 + r.Intn(5)
+		desc := "scan"
+		for s := 0; s < steps; s++ {
+			switch r.Intn(5) {
+			case 0: // filter
+				col := r.Intn(width)
+				op = &FilterExec{
+					Cond:  expr.NewBinary(expr.OpLeq, expr.NewBoundRef(col, "x", types.KindInt, false), expr.NewLiteral(types.Int(int64(r.Intn(10))))),
+					Child: op,
+				}
+				desc += "->filter"
+			case 1: // project (random width, simple arithmetic)
+				k := 1 + r.Intn(width+1)
+				exprs := make([]expr.Expr, k)
+				fields := make([]types.Field, k)
+				for i := 0; i < k; i++ {
+					col := r.Intn(width)
+					ref := expr.NewBoundRef(col, "x", types.KindInt, false)
+					if r.Intn(2) == 0 {
+						exprs[i] = expr.NewBinary(expr.OpAdd, ref, expr.NewLiteral(types.Int(int64(r.Intn(5)))))
+					} else {
+						exprs[i] = ref
+					}
+					fields[i] = types.Field{Name: fmt.Sprintf("p%d", i), Type: types.KindInt}
+				}
+				op = NewProjectExec(exprs, types.NewSchema(fields...), op)
+				width = k
+				desc += "->project"
+			case 2: // limit (exercises the LocalLimit/GlobalLimit split)
+				op = &LimitExec{N: int64(1 + r.Intn(nRows)), Child: op}
+				desc += "->limit"
+			case 3: // local skyline over two random dims
+				d1, d2 := r.Intn(width), r.Intn(width)
+				op = &LocalSkylineExec{
+					Dims: []BoundDim{
+						{E: expr.NewBoundRef(d1, "x", types.KindInt, false), Dir: skyline.Min},
+						{E: expr.NewBoundRef(d2, "y", types.KindInt, false), Dir: skyline.Max},
+					},
+					Child: op,
+				}
+				desc += "->localsky"
+			case 4: // exchange under a random distribution
+				dists := []cluster.Distribution{cluster.Unspecified, cluster.AllTuples, cluster.Hash}
+				dist := dists[r.Intn(len(dists))]
+				ex := &ExchangeExec{Dist: dist, Child: op}
+				if dist == cluster.Hash {
+					ex.Keys = []expr.Expr{expr.NewBoundRef(r.Intn(width), "k", types.KindInt, false)}
+				}
+				op = ex
+				desc += "->exchange(" + dist.String() + ")"
+			}
+		}
+		executors := 1 + r.Intn(5)
+		unfused, fused, uctx, fctx := execBoth(t, op, executors)
+		assertSameRows(t, fmt.Sprintf("trial %d (%s, %d executors)", trial, desc, executors), unfused, fused)
+		if fctx.Metrics.StagesExecuted() > uctx.Metrics.StagesExecuted() {
+			t.Errorf("trial %d (%s): fused scheduled %d rounds, unfused %d",
+				trial, desc, fctx.Metrics.StagesExecuted(), uctx.Metrics.StagesExecuted())
+		}
+	}
+}
+
+// TestFusedUnfusedEquivalenceAllStrategies is the planner-level contract:
+// for every SkylineStrategy (over complete and incomplete data, covering
+// all exchange distributions the strategies emit — Unspecified, AllTuples,
+// NullBitmap, Grid, Angle, Zorder) the stage-fused plan must be
+// result-identical to the per-operator plan.
+func TestFusedUnfusedEquivalenceAllStrategies(t *testing.T) {
+	strategies := []SkylineStrategy{
+		SkylineAuto, SkylineDistributedComplete, SkylineNonDistributedComplete,
+		SkylineDistributedIncomplete, SkylineSFS, SkylineDivideAndConquer,
+		SkylineGridComplete, SkylineAngleComplete, SkylineZorderComplete,
+		SkylineCostBased,
+	}
+	r := rand.New(rand.NewSource(11))
+	for _, nullable := range []bool{false, true} {
+		nRows := 150
+		data := make([][]int64, nRows)
+		for i := range data {
+			data[i] = []int64{int64(r.Intn(20)), int64(r.Intn(20)), int64(r.Intn(10))}
+		}
+		name := "complete"
+		if nullable {
+			name = "incomplete"
+		}
+		tab := intTable(t, name, []string{"a", "b", "c"}, data)
+		if nullable {
+			tab.Schema.Fields[0].Nullable = true
+			for i := 0; i < nRows; i += 7 {
+				tab.Rows[i][0] = types.Null
+			}
+		}
+		scan := plan.NewScan(tab, name)
+		filter := plan.NewFilter(
+			expr.NewBinary(expr.OpLeq, expr.NewBoundRef(2, "c", types.KindInt, false), expr.NewLiteral(types.Int(7))), scan)
+		dims := []*expr.SkylineDimension{
+			expr.NewSkylineDimension(expr.NewBoundRef(0, "a", types.KindInt, nullable), expr.SkyMin),
+			expr.NewSkylineDimension(expr.NewBoundRef(1, "b", types.KindInt, false), expr.SkyMax),
+		}
+		sky := plan.NewSkylineOperator(false, false, dims, filter)
+		for _, st := range strategies {
+			for _, wcap := range []int{0, 8} {
+				label := fmt.Sprintf("%s/%v/window=%d", name, st, wcap)
+				unfusedOp, err := Plan(sky, Options{Strategy: st, SkylineWindowCap: wcap, DisableStageFusion: true})
+				if err != nil {
+					t.Fatalf("%s: plan unfused: %v", label, err)
+				}
+				fusedOp, err := Plan(sky, Options{Strategy: st, SkylineWindowCap: wcap})
+				if err != nil {
+					t.Fatalf("%s: plan fused: %v", label, err)
+				}
+				uctx, fctx := cluster.NewContext(4), cluster.NewContext(4)
+				unfused, err := Execute(unfusedOp, uctx)
+				if err != nil {
+					t.Fatalf("%s: unfused execute: %v", label, err)
+				}
+				fused, err := Execute(fusedOp, fctx)
+				if err != nil {
+					t.Fatalf("%s: fused execute: %v", label, err)
+				}
+				assertSameRows(t, label, unfused, fused)
+				if fctx.Metrics.StagesExecuted() > uctx.Metrics.StagesExecuted() {
+					t.Errorf("%s: fused scheduled %d rounds, unfused %d",
+						label, fctx.Metrics.StagesExecuted(), uctx.Metrics.StagesExecuted())
+				}
+			}
+		}
+	}
+}
+
+// TestFusedPipelinePeakBytesLower is the memory regression contract: a
+// filter -> project -> local-skyline chain must materialize strictly less
+// peak memory fused (stage-scoped charge, no intermediates) than
+// per-operator, and must schedule strictly fewer task rounds.
+func TestFusedPipelinePeakBytesLower(t *testing.T) {
+	nRows := 400
+	data := make([][]int64, nRows)
+	for i := range data {
+		data[i] = []int64{int64(i % 50), int64((nRows - i) % 50), int64(i), int64(i * 3)}
+	}
+	tab := intTable(t, "t", []string{"a", "b", "c", "d"}, data)
+	chain := func() Operator {
+		filter := &FilterExec{
+			Cond:  expr.NewBinary(expr.OpLeq, expr.NewBoundRef(0, "a", types.KindInt, false), expr.NewLiteral(types.Int(49))),
+			Child: scanOf(t, tab),
+		}
+		// Widening projection: intermediates are bigger than the input.
+		refs := make([]expr.Expr, 6)
+		fields := make([]types.Field, 6)
+		for i := range refs {
+			refs[i] = expr.NewBoundRef(i%4, "x", types.KindInt, false)
+			fields[i] = types.Field{Name: fmt.Sprintf("p%d", i), Type: types.KindInt}
+		}
+		project := NewProjectExec(refs, types.NewSchema(fields...), filter)
+		return &LocalSkylineExec{
+			Dims: []BoundDim{
+				{E: expr.NewBoundRef(0, "a", types.KindInt, false), Dir: skyline.Min},
+				{E: expr.NewBoundRef(1, "b", types.KindInt, false), Dir: skyline.Min},
+			},
+			Child: project,
+		}
+	}
+	unfused, fused, uctx, fctx := execBoth(t, chain(), 4)
+	assertSameRows(t, "3-op chain", unfused, fused)
+	if fctx.Metrics.PeakBytes() >= uctx.Metrics.PeakBytes() {
+		t.Errorf("fused peak bytes %d must be strictly lower than unfused %d",
+			fctx.Metrics.PeakBytes(), uctx.Metrics.PeakBytes())
+	}
+	if fctx.Metrics.StagesExecuted() >= uctx.Metrics.StagesExecuted() {
+		t.Errorf("fused task rounds %d must be strictly fewer than unfused %d",
+			fctx.Metrics.StagesExecuted(), uctx.Metrics.StagesExecuted())
+	}
+	if got := CountStages(CompileStages(chain())); got != 1 {
+		t.Errorf("chain must compile into exactly 1 fused stage, got %d", got)
+	}
+}
+
+// TestCompileStagesDoesNotMutate pins the compiler's purity: compiling
+// must leave the input tree executable and unchanged.
+func TestCompileStagesDoesNotMutate(t *testing.T) {
+	tab := intTable(t, "t", []string{"a"}, [][]int64{{3}, {1}, {2}})
+	f := &FilterExec{
+		Cond:  expr.NewBinary(expr.OpGt, ref(0), expr.NewLiteral(types.Int(1))),
+		Child: scanOf(t, tab),
+	}
+	compiled := CompileStages(f)
+	if _, ok := compiled.(*PipelineExec); !ok {
+		t.Fatalf("compiled root = %T, want *PipelineExec", compiled)
+	}
+	if _, ok := f.Child.(*ScanExec); !ok {
+		t.Errorf("original tree mutated: filter child is %T", f.Child)
+	}
+	rows := gather(t, f, 2)
+	if len(rows) != 2 {
+		t.Errorf("original tree no longer executable: %v", rows)
+	}
+}
+
+// TestExtremumFilterFusedTail pins the StageSource path: narrow operators
+// above an ExtremumFilterExec run inside its second pass, saving a round,
+// with identical results.
+func TestExtremumFilterFusedTail(t *testing.T) {
+	tab := intTable(t, "t", []string{"a", "b"}, [][]int64{{1, 9}, {1, 3}, {2, 5}, {1, 7}})
+	chain := func() Operator {
+		x := &ExtremumFilterExec{E: ref(0), Child: scanOf(t, tab)}
+		return &FilterExec{
+			Cond:  expr.NewBinary(expr.OpGt, expr.NewBoundRef(1, "b", types.KindInt, false), expr.NewLiteral(types.Int(4))),
+			Child: x,
+		}
+	}
+	unfused, fused, uctx, fctx := execBoth(t, chain(), 2)
+	assertSameRows(t, "extremum tail", unfused, fused)
+	if len(fused) != 2 {
+		t.Fatalf("rows = %v", fused)
+	}
+	if fctx.Metrics.StagesExecuted() >= uctx.Metrics.StagesExecuted() {
+		t.Errorf("fused tail must save a round: fused %d, unfused %d",
+			fctx.Metrics.StagesExecuted(), uctx.Metrics.StagesExecuted())
 	}
 }

@@ -32,6 +32,15 @@ func (x *ExtremumFilterExec) String() string {
 }
 
 func (x *ExtremumFilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	return x.ExecuteFused(ctx, nil)
+}
+
+// ExecuteFused implements StageSource: the operator is a pipeline breaker
+// (the global extremum needs all partitions), but its second pass is a
+// narrow filter, so the fused tail of the stage above runs inside that
+// same task round instead of costing an extra round and an intermediate
+// materialization. A nil tail reproduces Execute exactly.
+func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail PartitionFn) (*cluster.Dataset, error) {
 	in, err := x.Child.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -83,8 +92,9 @@ func (x *ExtremumFilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, er
 		charge(ctx, out, in)
 		return out, nil
 	}
-	// Pass 2: keep rows attaining the extremum.
-	out, err := ctx.MapPartitions(in, func(_ int, part []types.Row) ([]types.Row, error) {
+	// Pass 2: keep rows attaining the extremum, then apply the fused tail
+	// (if any) within the same task round.
+	out, err := ctx.MapPartitions(in, func(i int, part []types.Row) ([]types.Row, error) {
 		var keep []types.Row
 		for _, row := range part {
 			v, err := x.E.Eval(row)
@@ -97,6 +107,9 @@ func (x *ExtremumFilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, er
 			if c, ok := types.CompareValues(v, best); ok && c == 0 {
 				keep = append(keep, row)
 			}
+		}
+		if tail != nil {
+			return tail(i, keep)
 		}
 		return keep, nil
 	})

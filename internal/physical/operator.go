@@ -7,6 +7,7 @@
 package physical
 
 import (
+	"fmt"
 	"strings"
 
 	"skysql/internal/cluster"
@@ -22,12 +23,25 @@ type Operator interface {
 	String() string
 }
 
-// Format renders the physical plan as an indented tree.
+// Format renders the physical plan as an indented tree. Fused stages
+// (PipelineExec) list their operators with a '*' marker, topmost first,
+// the way Spark's EXPLAIN marks whole-stage-codegen members.
 func Format(op Operator) string {
 	var sb strings.Builder
 	var rec func(Operator, int)
 	rec = func(o Operator, depth int) {
 		sb.WriteString(strings.Repeat("  ", depth))
+		if p, ok := o.(*PipelineExec); ok {
+			sb.WriteString(fmt.Sprintf("PipelineExec (%d fused operators, 1 task round)\n", len(p.Ops)))
+			for i := len(p.Ops) - 1; i >= 0; i-- {
+				sb.WriteString(strings.Repeat("  ", depth+1))
+				sb.WriteString("* ")
+				sb.WriteString(p.Ops[i].String())
+				sb.WriteByte('\n')
+			}
+			rec(p.Source, depth+1)
+			return
+		}
 		sb.WriteString(o.String())
 		sb.WriteByte('\n')
 		for _, c := range o.Children() {

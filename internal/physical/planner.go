@@ -83,38 +83,59 @@ type Options struct {
 	// algorithms (0 = unbounded). Bounded windows trade extra passes for
 	// bounded memory, per the original BNL algorithm.
 	SkylineWindowCap int
+	// DisableStageFusion turns off the exchange-bounded stage compiler,
+	// executing every physical operator as its own fully-materialized task
+	// round (the pre-fusion behaviour). Used by the equivalence contract
+	// tests and for A/B benchmarking of the fused execution path.
+	DisableStageFusion bool
 }
 
 // Plan lowers a resolved (and optionally optimized) logical plan into a
-// physical operator tree.
+// physical operator tree and, unless disabled, compiles it into
+// exchange-bounded fused stages (CompileStages): chains of narrow
+// operators collapse into single-task-round pipelines, cut at pipeline
+// breakers, mirroring Spark's stage/DAG execution model.
 func Plan(n plan.Node, opts Options) (Operator, error) {
+	op, err := lower(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.DisableStageFusion {
+		return op, nil
+	}
+	return CompileStages(op), nil
+}
+
+// lower translates logical nodes into per-operator physical nodes; stage
+// fusion happens afterwards, over the whole tree.
+func lower(n plan.Node, opts Options) (Operator, error) {
 	switch p := n.(type) {
 	case *plan.Scan:
 		return NewScanExec(p.Table, p.Schema()), nil
 	case *plan.OneRow:
 		return &OneRowExec{}, nil
 	case *plan.SubqueryAlias:
-		return Plan(p.Child, opts) // pure renaming; no runtime effect
+		return lower(p.Child, opts) // pure renaming; no runtime effect
 	case *plan.Project:
-		child, err := Plan(p.Child, opts)
+		child, err := lower(p.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return NewProjectExec(p.Exprs, p.Schema(), child), nil
 	case *plan.Filter:
-		child, err := Plan(p.Child, opts)
+		child, err := lower(p.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &FilterExec{Cond: p.Cond, Child: child}, nil
 	case *plan.Aggregate:
-		child, err := Plan(p.Child, opts)
+		child, err := lower(p.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return NewAggregateExec(p.Groups, p.Outputs, p.Schema(), child), nil
 	case *plan.Sort:
-		child, err := Plan(p.Child, opts)
+		child, err := lower(p.Child, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -124,19 +145,19 @@ func Plan(n plan.Node, opts Options) (Operator, error) {
 		}
 		return &SortExec{Orders: orders, Child: child}, nil
 	case *plan.Limit:
-		child, err := Plan(p.Child, opts)
+		child, err := lower(p.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &LimitExec{N: p.N, Child: child}, nil
 	case *plan.Distinct:
-		child, err := Plan(p.Child, opts)
+		child, err := lower(p.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &DistinctExec{Child: child}, nil
 	case *plan.ExtremumFilter:
-		child, err := Plan(p.Child, opts)
+		child, err := lower(p.Child, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -153,11 +174,11 @@ func Plan(n plan.Node, opts Options) (Operator, error) {
 // (inner/left-outer), nested-loop otherwise; right-outer joins are planned
 // as swapped left-outer joins plus a column-reordering projection.
 func planJoin(j *plan.Join, opts Options) (Operator, error) {
-	left, err := Plan(j.Left, opts)
+	left, err := lower(j.Left, opts)
 	if err != nil {
 		return nil, err
 	}
-	right, err := Plan(j.Right, opts)
+	right, err := lower(j.Right, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +265,7 @@ func extractEquiKeys(cond expr.Expr, leftWidth int) (lkeys, rkeys []expr.Expr, r
 // the physical plan from the COMPLETE flag and the nullability of the
 // skyline dimensions, overridable by an explicit strategy.
 func planSkyline(s *plan.SkylineOperator, opts Options) (Operator, error) {
-	child, err := Plan(s.Child, opts)
+	child, err := lower(s.Child, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -95,11 +95,14 @@ func (l *LocalSkylineExec) String() string {
 	return fmt.Sprintf("LocalSkylineExec(%s) [%s]", mode, dimStrings(l.Dims))
 }
 
-func (l *LocalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
-	in, err := l.Child.Execute(ctx)
-	if err != nil {
-		return nil, err
-	}
+// NarrowChild implements NarrowOperator: the local skyline is computed
+// independently per partition (the planner guarantees the partitioning —
+// e.g. NullBitmap for incomplete data — before this node), so it fuses
+// into the enclosing stage.
+func (l *LocalSkylineExec) NarrowChild() Operator { return l.Child }
+
+// PartitionTransform returns the per-partition BNL closure.
+func (l *LocalSkylineExec) PartitionTransform(ctx *cluster.Context) PartitionFn {
 	cmp := skyline.Compare
 	if l.Incomplete {
 		cmp = skyline.CompareIncomplete
@@ -108,7 +111,7 @@ func (l *LocalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, erro
 	if ctx.Metrics != nil {
 		stats = &ctx.Metrics.Sky
 	}
-	out, err := ctx.MapPartitions(in, func(_ int, part []types.Row) ([]types.Row, error) {
+	return func(_ int, part []types.Row) ([]types.Row, error) {
 		pts, err := evalPoints(part, l.Dims)
 		if err != nil {
 			return nil, err
@@ -123,7 +126,15 @@ func (l *LocalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, erro
 			return nil, err
 		}
 		return rowsOf(sky), nil
-	})
+	}
+}
+
+func (l *LocalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := l.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.MapPartitions(in, l.PartitionTransform(ctx))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,306 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+
+	"skysql/internal/cluster"
+	"skysql/internal/types"
+)
+
+// This file implements exchange-bounded stage fusion, the engine's version
+// of Spark's stage/DAG execution model that the paper's integration
+// inherits (§5.5): maximal chains of narrow operators — operators that
+// transform each partition independently, without repartitioning — are
+// compiled into a single per-partition closure executed by one
+// MapPartitions task round. Pipeline breakers (exchanges, global skylines,
+// sorts, aggregates, joins, limits) cut the plan into stages exactly where
+// a Spark shuffle would.
+
+// PartitionFn is the per-partition row transform of a narrow operator:
+// given the partition index and its rows it produces the operator's output
+// rows for that partition.
+type PartitionFn func(i int, part []types.Row) ([]types.Row, error)
+
+// NarrowOperator is implemented by physical operators whose work is a pure
+// per-partition pass (Spark's narrow transformations). The stage compiler
+// fuses chains of them into one PipelineExec.
+type NarrowOperator interface {
+	Operator
+	// NarrowChild returns the input the per-partition pass reads from.
+	NarrowChild() Operator
+	// PartitionTransform returns the operator's per-partition closure. It
+	// is invoked once per stage execution, so implementations may capture
+	// context-derived state (e.g. metric sinks) in the returned closure.
+	PartitionTransform(ctx *cluster.Context) PartitionFn
+}
+
+// StageSource is implemented by pipeline breakers that can absorb the
+// fused tail of the stage above them into their own final per-partition
+// pass, saving one task round and one intermediate materialization.
+type StageSource interface {
+	Operator
+	// ExecuteFused executes the operator with tail applied to every output
+	// partition inside the operator's last MapPartitions round. A nil tail
+	// must behave exactly like Execute.
+	ExecuteFused(ctx *cluster.Context, tail PartitionFn) (*cluster.Dataset, error)
+}
+
+// PipelineExec is one fused stage: a maximal chain of narrow operators
+// executed as a single per-partition closure over the source's partitions.
+// Memory accounting is stage-scoped — only the stage input and the stage
+// output are ever charged, never the fused intermediates — and the whole
+// chain costs one scheduled task round instead of one per operator.
+type PipelineExec struct {
+	// Ops is the fused chain in execution order: Ops[0] consumes the
+	// source partitions, Ops[len-1] produces the stage output. Stage
+	// numbers are a rendering concern: FormatStages assigns them
+	// consistently over the whole plan.
+	Ops []NarrowOperator
+	// Source feeds the stage: a scan, an exchange, or another breaker.
+	Source Operator
+}
+
+func (p *PipelineExec) Schema() *types.Schema { return p.Ops[len(p.Ops)-1].Schema() }
+func (p *PipelineExec) Children() []Operator  { return []Operator{p.Source} }
+
+func (p *PipelineExec) String() string {
+	names := make([]string, len(p.Ops))
+	for i, op := range p.Ops {
+		names[i] = opName(op)
+	}
+	return fmt.Sprintf("PipelineExec [%s]", strings.Join(names, " -> "))
+}
+
+// tailFn composes the fused chain into one per-partition closure.
+func (p *PipelineExec) tailFn(ctx *cluster.Context) PartitionFn {
+	fns := make([]PartitionFn, len(p.Ops))
+	for i, op := range p.Ops {
+		fns[i] = op.PartitionTransform(ctx)
+	}
+	return func(i int, part []types.Row) ([]types.Row, error) {
+		cur := part
+		var err error
+		for _, fn := range fns {
+			cur, err = fn(i, cur)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return cur, nil
+	}
+}
+
+func (p *PipelineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	tail := p.tailFn(ctx)
+	if src, ok := p.Source.(StageSource); ok {
+		// The breaker below runs the tail inside its own final pass; it
+		// does the stage-scoped charging itself.
+		return src.ExecuteFused(ctx, tail)
+	}
+	in, err := p.Source.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.MapPartitions(in, tail)
+	if err != nil {
+		return nil, err
+	}
+	charge(ctx, out, in)
+	return out, nil
+}
+
+// LocalLimitExec truncates every partition to its first N rows — the
+// narrow half of Spark's LocalLimit/GlobalLimit split. The stage compiler
+// inserts it below a LimitExec so that the final gather moves at most N
+// rows per partition; because Gather concatenates partitions in order, the
+// first N rows of the concatenation are unchanged by the truncation.
+type LocalLimitExec struct {
+	N     int64
+	Child Operator
+}
+
+func (l *LocalLimitExec) Schema() *types.Schema { return l.Child.Schema() }
+func (l *LocalLimitExec) Children() []Operator  { return []Operator{l.Child} }
+func (l *LocalLimitExec) String() string        { return fmt.Sprintf("LocalLimitExec %d", l.N) }
+
+func (l *LocalLimitExec) NarrowChild() Operator { return l.Child }
+
+func (l *LocalLimitExec) PartitionTransform(*cluster.Context) PartitionFn {
+	return func(_ int, part []types.Row) ([]types.Row, error) {
+		if int64(len(part)) > l.N {
+			part = part[:l.N]
+		}
+		return part, nil
+	}
+}
+
+func (l *LocalLimitExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	in, err := l.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.MapPartitions(in, l.PartitionTransform(ctx))
+	if err != nil {
+		return nil, err
+	}
+	charge(ctx, out, in)
+	return out, nil
+}
+
+// CompileStages rewrites a physical operator tree into its stage-fused
+// form: every maximal chain of narrow operators becomes one PipelineExec,
+// cut at pipeline breakers. The input tree is not mutated; shared subtrees
+// are shallow-copied as needed. Compiling is idempotent in effect —
+// executing the compiled tree is plan-for-plan result-identical to
+// executing the original.
+func CompileStages(root Operator) Operator {
+	switch o := root.(type) {
+	case *PipelineExec:
+		// Already compiled; recompile beneath it only.
+		cp := *o
+		cp.Source = CompileStages(o.Source)
+		return &cp
+	case *LimitExec:
+		// LocalLimit/GlobalLimit split: when the child is narrow the
+		// truncation rides along in the fused stage for free.
+		if _, narrow := o.Child.(NarrowOperator); narrow {
+			return &LimitExec{N: o.N, Child: CompileStages(&LocalLimitExec{N: o.N, Child: o.Child})}
+		}
+		return &LimitExec{N: o.N, Child: CompileStages(o.Child)}
+	case NarrowOperator:
+		// Collect the maximal narrow chain, top-down.
+		var chain []NarrowOperator
+		cur := root
+		for {
+			n, ok := cur.(NarrowOperator)
+			if !ok {
+				break
+			}
+			chain = append(chain, n)
+			cur = n.NarrowChild()
+		}
+		// Reverse into execution order (source side first).
+		ops := make([]NarrowOperator, len(chain))
+		for i, n := range chain {
+			ops[len(chain)-1-i] = n
+		}
+		return &PipelineExec{Ops: ops, Source: CompileStages(cur)}
+	case *ExchangeExec:
+		cp := *o
+		cp.Child = CompileStages(o.Child)
+		return &cp
+	case *SortExec:
+		cp := *o
+		cp.Child = CompileStages(o.Child)
+		return &cp
+	case *DistinctExec:
+		cp := *o
+		cp.Child = CompileStages(o.Child)
+		return &cp
+	case *AggregateExec:
+		cp := *o
+		cp.Child = CompileStages(o.Child)
+		return &cp
+	case *GlobalSkylineExec:
+		cp := *o
+		cp.Child = CompileStages(o.Child)
+		return &cp
+	case *ExtremumFilterExec:
+		cp := *o
+		cp.Child = CompileStages(o.Child)
+		return &cp
+	case *HashJoinExec:
+		cp := *o
+		cp.Left = CompileStages(o.Left)
+		cp.Right = CompileStages(o.Right)
+		return &cp
+	case *NestedLoopJoinExec:
+		cp := *o
+		cp.Left = CompileStages(o.Left)
+		cp.Right = CompileStages(o.Right)
+		return &cp
+	default:
+		// Leaves (ScanExec, OneRowExec) and any future childless operator.
+		return root
+	}
+}
+
+// opName is the bare operator name used in fused-chain summaries.
+func opName(op Operator) string {
+	s := op.String()
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// CountStages returns the number of fused pipeline stages in a compiled
+// plan (0 for an unfused tree).
+func CountStages(root Operator) int {
+	n := 0
+	var rec func(Operator)
+	rec = func(op Operator) {
+		if _, ok := op.(*PipelineExec); ok {
+			n++
+		}
+		for _, c := range op.Children() {
+			rec(c)
+		}
+	}
+	rec(root)
+	return n
+}
+
+// FormatStages renders the exchange-bounded stage structure of a physical
+// plan the way EXPLAIN presents it: every line is tagged with the stage
+// that executes the operator, fused operators are marked with '*', and
+// stage boundaries are called out at every pipeline breaker.
+func FormatStages(root Operator) string {
+	var sb strings.Builder
+	next := 0
+	newStage := func() int { next++; return next }
+	var rec func(op Operator, depth, stage int)
+	rec = func(op Operator, depth, stage int) {
+		ind := strings.Repeat("  ", depth)
+		switch o := op.(type) {
+		case *PipelineExec:
+			fmt.Fprintf(&sb, "%s[stage %d] pipeline (%d fused operators, 1 task round)\n", ind, stage, len(o.Ops))
+			for i := len(o.Ops) - 1; i >= 0; i-- {
+				fmt.Fprintf(&sb, "%s  * %s\n", ind, o.Ops[i].String())
+			}
+			// The source shares the stage only when it feeds the fused pass
+			// directly: a leaf (scan), a StageSource absorbing the tail, or
+			// an exchange (which allocates the producing stage itself).
+			// Other breakers run their own task round: new stage.
+			s := stage
+			_, isExchange := o.Source.(*ExchangeExec)
+			_, isFusedSource := o.Source.(StageSource)
+			if !isExchange && !isFusedSource && len(o.Source.Children()) > 0 {
+				s = newStage()
+			}
+			rec(o.Source, depth+1, s)
+		case *ExchangeExec:
+			// The exchange is the boundary itself; its producing side below
+			// is a fresh stage.
+			fmt.Fprintf(&sb, "%s---- stage boundary: %s ----\n", ind, o.String())
+			rec(o.Child, depth+1, newStage())
+		default:
+			fmt.Fprintf(&sb, "%s[stage %d] %s\n", ind, stage, op.String())
+			_, narrow := op.(NarrowOperator)
+			for _, ch := range op.Children() {
+				s := stage
+				if !narrow {
+					// Breakers cut a stage; an exchange child allocates its
+					// own producing stage when it recurses.
+					if _, isExchange := ch.(*ExchangeExec); !isExchange {
+						s = newStage()
+					}
+				}
+				rec(ch, depth+1, s)
+			}
+		}
+	}
+	rec(root, 0, newStage())
+	return sb.String()
+}

@@ -18,6 +18,7 @@ type Session struct {
 	strategy  SkylineStrategy
 	simulate  bool
 	windowCap int
+	noFusion  bool
 }
 
 // Option configures a session.
@@ -58,6 +59,15 @@ func WithSkylineWindow(n int) Option {
 			s.windowCap = n
 		}
 	}
+}
+
+// WithoutStageFusion disables the exchange-bounded stage compiler: every
+// physical operator then executes as its own fully-materialized task
+// round instead of fusing narrow chains into single-pass pipelines. The
+// default (fused) execution is result-identical; this switch exists for
+// A/B comparison and debugging.
+func WithoutStageFusion() Option {
+	return func(s *Session) { s.noFusion = true }
 }
 
 // NewSession creates a session with an empty catalog.
@@ -122,9 +132,18 @@ func (s *Session) DropTable(name string) { s.engine.Catalog.Drop(name) }
 // Tables lists the registered table names.
 func (s *Session) Tables() []string { return s.engine.Catalog.Names() }
 
+// options assembles the physical planning options of this session.
+func (s *Session) options() physical.Options {
+	return physical.Options{
+		Strategy:           s.strategy,
+		SkylineWindowCap:   s.windowCap,
+		DisableStageFusion: s.noFusion,
+	}
+}
+
 // SQL compiles a query string into a lazy DataFrame.
 func (s *Session) SQL(query string) (*DataFrame, error) {
-	c, err := s.engine.CompileSQL(query, physical.Options{Strategy: s.strategy, SkylineWindowCap: s.windowCap})
+	c, err := s.engine.CompileSQL(query, s.options())
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +162,7 @@ func (s *Session) Query(query string) ([]Row, error) {
 // Explain compiles the query and renders the analyzed, optimized, and
 // physical plans.
 func (s *Session) Explain(query string) (string, error) {
-	c, err := s.engine.CompileSQL(query, physical.Options{Strategy: s.strategy, SkylineWindowCap: s.windowCap})
+	c, err := s.engine.CompileSQL(query, s.options())
 	if err != nil {
 		return "", err
 	}

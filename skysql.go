@@ -22,6 +22,17 @@
 // partitioned data with explicit exchanges, so that the paper's
 // distributed algorithm behaviour (local vs global skylines, null-bitmap
 // partitioning for incomplete data, AllTuples gathering) is preserved.
+//
+// Execution follows Spark's stage/DAG model: the physical planner compiles
+// the operator tree into exchange-bounded stages, fusing each maximal
+// chain of narrow operators (scan, filter, project, per-partition limit,
+// local skyline) into a single per-partition pass scheduled as one task
+// round. Pipeline breakers — exchanges, global skylines, sorts,
+// aggregates, joins — cut the stages exactly where a Spark shuffle would,
+// so a filter → project → local-skyline chain materializes no
+// intermediate datasets and costs one scheduling round instead of three.
+// EXPLAIN renders the stage boundaries; WithoutStageFusion restores the
+// per-operator path for A/B comparison.
 package skysql
 
 import (
