@@ -9,7 +9,8 @@
 //
 // The -table flag may be repeated. Column kinds are int, float, string,
 // bool, given in CSV header order. Shell commands: \q quits, \t lists
-// tables, \e <sql> explains a query.
+// tables, \e <sql> explains a query, \s <sql> executes it and prints the
+// per-stage makespan breakdown.
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "print plans instead of executing")
 	)
 	flag.Var(&tables, "table", "name=file.csv:kind,kind,... (repeatable)")
+	flag.BoolVar(&showStages, "stages", false, "print the per-stage makespan breakdown after each query")
 	flag.Parse()
 
 	sess := skysql.NewSession(skysql.WithExecutors(*executors))
@@ -105,13 +107,24 @@ func execute(sess *skysql.Session, query string, explain bool) error {
 	}
 	fmt.Print(skysql.FormatRows(schema, rows))
 	fmt.Printf("(%d rows in %s)\n", len(rows), time.Since(start).Round(time.Millisecond))
+	if showStages {
+		if m := df.Metrics(); m != nil {
+			if s := m.FormatStageTimes(); s != "" {
+				fmt.Print("stage makespans:\n" + s)
+			}
+		}
+	}
 	return nil
 }
+
+// showStages prints the per-stage makespan breakdown after each executed
+// query (-stages flag, or the shell's \s command).
+var showStages bool
 
 func shell(sess *skysql.Session) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("skysql shell — \\q to quit, \\t for tables, \\e <sql> to explain")
+	fmt.Println("skysql shell — \\q to quit, \\t for tables, \\e <sql> to explain, \\s <sql> for stage times")
 	for {
 		fmt.Print("skysql> ")
 		if !sc.Scan() {
@@ -131,6 +144,13 @@ func shell(sess *skysql.Session) {
 			if err := execute(sess, strings.TrimPrefix(line, `\e `), true); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
+		case strings.HasPrefix(line, `\s `):
+			prev := showStages
+			showStages = true
+			if err := execute(sess, strings.TrimPrefix(line, `\s `), false); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			showStages = prev
 		default:
 			if err := execute(sess, line, false); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)

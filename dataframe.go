@@ -321,12 +321,20 @@ func (df *DataFrame) Schema() (*Schema, error) {
 	return df.compiled.Schema(), nil
 }
 
-// Explain compiles the query and renders all plan stages.
+// Explain compiles the query and renders all plan stages. After a Collect
+// it additionally appends the per-stage makespan breakdown of that run, so
+// the dominating stage of the query is visible next to the stage DAG.
 func (df *DataFrame) Explain() (string, error) {
 	if err := df.compile(); err != nil {
 		return "", err
 	}
-	return df.compiled.Explain(), nil
+	out := df.compiled.Explain()
+	if df.metrics != nil {
+		if breakdown := df.metrics.FormatStageTimes(); breakdown != "" {
+			out += "== Stage Times (last run) ==\n" + breakdown
+		}
+	}
+	return out, nil
 }
 
 // Metrics returns the execution counters of the last Collect (nil before

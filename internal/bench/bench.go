@@ -65,6 +65,9 @@ type Spec struct {
 	Tuples     int
 	Executors  int
 	Algorithm  core.Algorithm
+	// NoKernel disables the columnar dominance kernel for this run (the
+	// boxed-path side of the kernel A/B ablation).
+	NoKernel bool
 }
 
 // Measurement is the outcome of one run.
@@ -72,6 +75,7 @@ type Measurement struct {
 	Spec           Spec
 	Duration       time.Duration
 	DominanceTests int64
+	Comparisons    int64
 	RowsShuffled   int64
 	PeakDataBytes  int64
 	// PeakModelMB adds the per-executor runtime overhead to the data
@@ -80,9 +84,12 @@ type Measurement struct {
 	// StagesExecuted counts the scheduled task rounds of the run; fused
 	// stage execution makes it smaller than the operator count.
 	StagesExecuted int64
-	ResultRows     int
-	TimedOut       bool
-	Err            error
+	// StageSeconds is the per-stage makespan breakdown, in execution
+	// order, exposing which stage dominates the query.
+	StageSeconds []float64
+	ResultRows   int
+	TimedOut     bool
+	Err          error
 }
 
 // Seconds returns the runtime in seconds (for chart-style output).
@@ -202,9 +209,13 @@ func dirOf(s string) expr.SkylineDir {
 func (c Config) fill(m *Measurement, res *core.Result) {
 	m.Duration = res.Duration
 	m.DominanceTests = res.Metrics.Sky.DominanceTests()
+	m.Comparisons = res.Metrics.Sky.Comparisons()
 	m.RowsShuffled = res.Metrics.RowsShuffled()
 	m.PeakDataBytes = res.Metrics.PeakBytes()
 	m.StagesExecuted = res.Metrics.StagesExecuted()
+	for _, st := range res.Metrics.StageTimes() {
+		m.StageSeconds = append(m.StageSeconds, st.Elapsed.Seconds())
+	}
 	m.PeakModelMB = c.ExecutorOverheadMB*float64(m.Spec.Executors) + float64(m.PeakDataBytes)/1e6
 	m.ResultRows = len(res.Rows)
 }
@@ -228,10 +239,10 @@ func (c Config) run(spec Spec) Measurement {
 	}
 	engine := core.NewEngine(w.cat)
 	query := w.query
-	opts := physical.Options{Strategy: spec.Algorithm.Strategy}
+	opts := physical.Options{Strategy: spec.Algorithm.Strategy, DisableColumnarKernel: spec.NoKernel}
 	if spec.Algorithm.Reference {
 		query = w.refQuery
-		opts = physical.Options{}
+		opts = physical.Options{DisableColumnarKernel: spec.NoKernel}
 	}
 	compiled, err := engine.CompileSQL(query, opts)
 	if err != nil {

@@ -75,10 +75,10 @@ func TestIncompleteVariantUsesTwoAlgorithms(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Errorf("experiments = %d, want 18 (figs 3–19 + ablation)", len(exps))
+	if len(exps) != 19 {
+		t.Errorf("experiments = %d, want 19 (figs 3–19 + ablation + kernel)", len(exps))
 	}
-	for _, want := range []string{"fig3", "fig7", "fig10", "fig16", "fig19", "ablation"} {
+	for _, want := range []string{"fig3", "fig7", "fig10", "fig16", "fig19", "ablation", "kernel"} {
 		if _, err := ExperimentByID(want); err != nil {
 			t.Errorf("missing experiment %s: %v", want, err)
 		}

@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{"fig18", "Executors vs. time — MusicBrainz complex queries (Figure 18)", runFig18},
 		{"fig19", "Executors vs. memory — MusicBrainz complex queries (Figure 19)", runFig19},
 		{"ablation", "Algorithm ablation — extension algorithms on synthetic distributions (§7)", runAblation},
+		{"kernel", "Columnar dominance kernel vs boxed compare path — fixed synthetic workload", runKernel},
 	}
 }
 

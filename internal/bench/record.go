@@ -11,15 +11,19 @@ type Record struct {
 	Dimensions     int     `json:"dimensions"`
 	Tuples         int     `json:"tuples"`
 	Executors      int     `json:"executors"`
+	ColumnarKernel bool    `json:"columnar_kernel"`
 	WallSeconds    float64 `json:"wall_time_seconds"`
 	DominanceTests int64   `json:"dominance_tests"`
+	Comparisons    int64   `json:"comparisons"`
 	RowsShuffled   int64   `json:"rows_shuffled"`
 	PeakBytes      int64   `json:"peak_bytes"`
 	PeakModelMB    float64 `json:"peak_model_mb"`
 	StagesExecuted int64   `json:"stages_executed"`
-	ResultRows     int     `json:"result_rows"`
-	TimedOut       bool    `json:"timed_out"`
-	Error          string  `json:"error,omitempty"`
+	// StageSeconds is the per-stage makespan breakdown in execution order.
+	StageSeconds []float64 `json:"stage_seconds,omitempty"`
+	ResultRows   int       `json:"result_rows"`
+	TimedOut     bool      `json:"timed_out"`
+	Error        string    `json:"error,omitempty"`
 }
 
 // NewRecord flattens a measurement into a record tagged with the
@@ -33,12 +37,15 @@ func NewRecord(experiment string, m Measurement) Record {
 		Dimensions:     m.Spec.Dimensions,
 		Tuples:         m.Spec.Tuples,
 		Executors:      m.Spec.Executors,
+		ColumnarKernel: !m.Spec.NoKernel,
 		WallSeconds:    m.Seconds(),
 		DominanceTests: m.DominanceTests,
+		Comparisons:    m.Comparisons,
 		RowsShuffled:   m.RowsShuffled,
 		PeakBytes:      m.PeakDataBytes,
 		PeakModelMB:    m.PeakModelMB,
 		StagesExecuted: m.StagesExecuted,
+		StageSeconds:   m.StageSeconds,
 		ResultRows:     m.ResultRows,
 		TimedOut:       m.TimedOut,
 	}

@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,9 +62,66 @@ type Metrics struct {
 	peakBytes    atomic.Int64
 	stages       atomic.Int64
 
+	mu         sync.Mutex
+	stageTimes []StageTime
+
 	// Sky aggregates dominance-test counts across all skyline operators in
 	// the query.
 	Sky skyline.Stats
+}
+
+// StageTime is the makespan record of one executed stage (one scheduled
+// MapPartitions task round): in simulate mode Elapsed is the modeled
+// makespan under the configured executor count (including per-task
+// overhead), otherwise the real wall time of the round.
+type StageTime struct {
+	Tasks   int
+	Elapsed time.Duration
+}
+
+// AddStageTime appends one stage's makespan record, in execution order.
+func (m *Metrics) AddStageTime(tasks int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stageTimes = append(m.stageTimes, StageTime{Tasks: tasks, Elapsed: d})
+	m.mu.Unlock()
+}
+
+// StageTimes returns a copy of the per-stage makespan records.
+func (m *Metrics) StageTimes() []StageTime {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]StageTime, len(m.stageTimes))
+	copy(out, m.stageTimes)
+	return out
+}
+
+// FormatStageTimes renders the per-stage makespan breakdown so the
+// dominating stage of a query is visible at a glance.
+func (m *Metrics) FormatStageTimes() string {
+	times := m.StageTimes()
+	if len(times) == 0 {
+		return ""
+	}
+	var total time.Duration
+	for _, st := range times {
+		total += st.Elapsed
+	}
+	var sb strings.Builder
+	for i, st := range times {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(st.Elapsed) / float64(total)
+		}
+		fmt.Fprintf(&sb, "stage %2d: %4d task(s) %12s  %5.1f%%\n", i+1, st.Tasks, st.Elapsed.Round(time.Microsecond), pct)
+	}
+	fmt.Fprintf(&sb, "total:    %4d stage(s) %11s\n", len(times), total.Round(time.Microsecond))
+	return sb.String()
 }
 
 // AddStage records one scheduled stage: a wave of per-partition tasks
@@ -199,6 +257,7 @@ func (c *Context) MapPartitions(in *Dataset, fn func(i int, part []types.Row) ([
 	if c.Simulate {
 		return c.mapPartitionsSimulated(in, out, fn)
 	}
+	start := time.Now()
 	workers := c.Executors
 	if workers > n {
 		workers = n
@@ -234,6 +293,7 @@ func (c *Context) MapPartitions(in *Dataset, fn func(i int, part []types.Row) ([
 	if err := firstErr.Load(); err != nil {
 		return nil, err.(error)
 	}
+	c.Metrics.AddStageTime(n, time.Since(start))
 	return &Dataset{Parts: out}, nil
 }
 
@@ -257,8 +317,10 @@ func (c *Context) mapPartitionsSimulated(in *Dataset, out [][]types.Row, fn func
 		serial += d
 		out[i] = res
 	}
+	makespan := Makespan(durations, c.Executors)
 	c.taskRealNanos.Add(int64(serial))
-	c.taskSimNanos.Add(int64(Makespan(durations, c.Executors)))
+	c.taskSimNanos.Add(int64(makespan))
+	c.Metrics.AddStageTime(len(in.Parts), makespan)
 	return &Dataset{Parts: out}, nil
 }
 

@@ -300,3 +300,48 @@ func TestStagesExecutedCountsTaskRounds(t *testing.T) {
 		t.Error("nil metrics must report 0 stages")
 	}
 }
+
+func TestStageTimesRecorded(t *testing.T) {
+	ctx := NewContext(2)
+	ds := NewDataset([]types.Row{{types.Int(1)}}, []types.Row{{types.Int(2)}})
+	if _, err := ctx.MapPartitions(ds, func(_ int, p []types.Row) ([]types.Row, error) {
+		return p, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	times := ctx.Metrics.StageTimes()
+	if len(times) != 1 {
+		t.Fatalf("stage times = %d, want 1", len(times))
+	}
+	if times[0].Tasks != 2 {
+		t.Errorf("tasks = %d, want 2", times[0].Tasks)
+	}
+	if s := ctx.Metrics.FormatStageTimes(); s == "" {
+		t.Error("breakdown must render")
+	}
+	var nilM *Metrics
+	nilM.AddStageTime(1, time.Second) // must not panic
+	if nilM.StageTimes() != nil {
+		t.Error("nil metrics must read as empty")
+	}
+}
+
+func TestStageTimesSimulatedUseMakespan(t *testing.T) {
+	ctx := NewContext(2)
+	ctx.Simulate = true
+	ctx.TaskOverhead = time.Millisecond
+	ds := NewDataset([]types.Row{{types.Int(1)}}, []types.Row{{types.Int(2)}}, []types.Row{{types.Int(3)}})
+	if _, err := ctx.MapPartitions(ds, func(_ int, p []types.Row) ([]types.Row, error) {
+		return p, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	times := ctx.Metrics.StageTimes()
+	if len(times) != 1 || times[0].Tasks != 3 {
+		t.Fatalf("stage times = %v", times)
+	}
+	// 3 tasks of ~1ms overhead on 2 workers: makespan ≈ 2ms ≥ 2×overhead.
+	if times[0].Elapsed < 2*time.Millisecond {
+		t.Errorf("simulated makespan = %v, want ≥ 2ms", times[0].Elapsed)
+	}
+}

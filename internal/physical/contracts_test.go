@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"skysql/internal/catalog"
 	"skysql/internal/cluster"
 	"skysql/internal/expr"
 	"skysql/internal/plan"
@@ -302,6 +303,109 @@ func TestFusedUnfusedEquivalenceAllStrategies(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestKernelBoxedEquivalenceAllStrategies is the columnar-kernel contract:
+// for every SkylineStrategy (complete and incomplete data, distinct both
+// ways, bounded and unbounded windows) the kernel-on plan must be
+// row-for-row identical to the kernel-off (boxed CompareFunc) plan.
+func TestKernelBoxedEquivalenceAllStrategies(t *testing.T) {
+	strategies := []SkylineStrategy{
+		SkylineAuto, SkylineDistributedComplete, SkylineNonDistributedComplete,
+		SkylineDistributedIncomplete, SkylineSFS, SkylineDivideAndConquer,
+		SkylineGridComplete, SkylineAngleComplete, SkylineZorderComplete,
+		SkylineCostBased,
+	}
+	r := rand.New(rand.NewSource(23))
+	for _, nullable := range []bool{false, true} {
+		nRows := 160
+		data := make([][]int64, nRows)
+		for i := range data {
+			data[i] = []int64{int64(r.Intn(15)), int64(r.Intn(15)), int64(r.Intn(4))}
+		}
+		name := "kcomplete"
+		if nullable {
+			name = "kincomplete"
+		}
+		tab := intTable(t, name, []string{"a", "b", "c"}, data)
+		if nullable {
+			tab.Schema.Fields[0].Nullable = true
+			tab.Schema.Fields[1].Nullable = true
+			for i := 0; i < nRows; i += 5 {
+				tab.Rows[i][i%2] = types.Null
+			}
+		}
+		scan := plan.NewScan(tab, name)
+		dims := []*expr.SkylineDimension{
+			expr.NewSkylineDimension(expr.NewBoundRef(0, "a", types.KindInt, nullable), expr.SkyMin),
+			expr.NewSkylineDimension(expr.NewBoundRef(1, "b", types.KindInt, nullable), expr.SkyMax),
+			expr.NewSkylineDimension(expr.NewBoundRef(2, "c", types.KindInt, false), expr.SkyDiff),
+		}
+		for _, distinct := range []bool{false, true} {
+			sky := plan.NewSkylineOperator(distinct, false, dims, scan)
+			for _, st := range strategies {
+				for _, wcap := range []int{0, 8} {
+					label := fmt.Sprintf("%s/%v/distinct=%v/window=%d", name, st, distinct, wcap)
+					kernelOp, err := Plan(sky, Options{Strategy: st, SkylineWindowCap: wcap})
+					if err != nil {
+						t.Fatalf("%s: plan kernel: %v", label, err)
+					}
+					boxedOp, err := Plan(sky, Options{Strategy: st, SkylineWindowCap: wcap, DisableColumnarKernel: true})
+					if err != nil {
+						t.Fatalf("%s: plan boxed: %v", label, err)
+					}
+					kctx, bctx := cluster.NewContext(4), cluster.NewContext(4)
+					kernel, err := Execute(kernelOp, kctx)
+					if err != nil {
+						t.Fatalf("%s: kernel execute: %v", label, err)
+					}
+					boxed, err := Execute(boxedOp, bctx)
+					if err != nil {
+						t.Fatalf("%s: boxed execute: %v", label, err)
+					}
+					assertSameRows(t, label, boxed, kernel)
+					if kctx.Metrics.Sky.DominanceTests() == 0 && len(boxed) < nRows {
+						t.Errorf("%s: kernel path recorded no dominance tests", label)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelFallbackNonNumericDims pins the transparent fallback: a skyline
+// over a string MIN dimension cannot decode into the columnar kernel and
+// must still produce correct results through the boxed path, kernel enabled.
+func TestKernelFallbackNonNumericDims(t *testing.T) {
+	tab, err := catalog.NewTable("s", types.NewSchema(
+		types.Field{Name: "name", Type: types.KindString},
+		types.Field{Name: "v", Type: types.KindInt},
+	), []types.Row{
+		{types.Str("b"), types.Int(2)},
+		{types.Str("a"), types.Int(3)},
+		{types.Str("a"), types.Int(1)},
+		{types.Str("c"), types.Int(9)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := plan.NewScan(tab, "s")
+	dims := []*expr.SkylineDimension{
+		expr.NewSkylineDimension(expr.NewBoundRef(0, "name", types.KindString, false), expr.SkyMin),
+		expr.NewSkylineDimension(expr.NewBoundRef(1, "v", types.KindInt, false), expr.SkyMin),
+	}
+	sky := plan.NewSkylineOperator(false, false, dims, scan)
+	op, err := Plan(sky, Options{Strategy: SkylineDistributedComplete})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Execute(op, cluster.NewContext(2))
+	if err != nil {
+		t.Fatalf("kernel-enabled plan over string dims must fall back, got error: %v", err)
+	}
+	if len(rows) != 1 || rows[0][0].AsString() != "a" || rows[0][1].AsInt() != 1 {
+		t.Fatalf("fallback skyline = %v, want [a 1]", rows)
 	}
 }
 

@@ -3,6 +3,7 @@ package physical
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"skysql/internal/cluster"
 	"skysql/internal/expr"
@@ -16,9 +17,13 @@ import (
 // complete-skyline semantics (the rule only fires for non-nullable or
 // COMPLETE inputs).
 type ExtremumFilterExec struct {
-	E     expr.Expr
-	Max   bool
-	Child Operator
+	E   expr.Expr
+	Max bool
+	// DisableKernel turns off the decode-once column cache: with it set,
+	// the second pass re-evaluates E per row, the pre-kernel behaviour
+	// (Options.DisableColumnarKernel).
+	DisableKernel bool
+	Child         Operator
 }
 
 func (x *ExtremumFilterExec) Schema() *types.Schema { return x.Child.Schema() }
@@ -40,6 +45,11 @@ func (x *ExtremumFilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, er
 // narrow filter, so the fused tail of the stage above runs inside that
 // same task round instead of costing an extra round and an intermediate
 // materialization. A nil tail reproduces Execute exactly.
+//
+// Following the decode-once discipline of the columnar dominance kernel,
+// pass 1 caches the evaluated expression column per partition and pass 2
+// filters against the cache instead of re-evaluating E per row — each
+// tuple is decoded exactly once across both distributed passes.
 func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail PartitionFn) (*cluster.Dataset, error) {
 	in, err := x.Child.Execute(ctx)
 	if err != nil {
@@ -51,13 +61,27 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail PartitionFn
 		best types.Value
 		seen bool
 	)
-	if _, err := ctx.MapPartitions(in, func(_ int, part []types.Row) ([]types.Row, error) {
+	var cols [][]types.Value
+	var cacheBytes atomic.Int64
+	if !x.DisableKernel {
+		cols = make([][]types.Value, len(in.Parts))
+	}
+	if _, err := ctx.MapPartitions(in, func(pi int, part []types.Row) ([]types.Row, error) {
+		var col []types.Value
+		var colBytes int64
+		if cols != nil {
+			col = make([]types.Value, len(part))
+		}
 		var localBest types.Value
 		localSeen := false
-		for _, row := range part {
+		for ri, row := range part {
 			v, err := x.E.Eval(row)
 			if err != nil {
 				return nil, err
+			}
+			if col != nil {
+				col[ri] = v
+				colBytes += v.MemSize()
 			}
 			if v.IsNull() {
 				continue
@@ -74,6 +98,10 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail PartitionFn
 				localBest = v
 			}
 		}
+		if col != nil {
+			cols[pi] = col // tasks write disjoint slots; no lock needed
+			cacheBytes.Add(colBytes)
+		}
 		if localSeen {
 			mu.Lock()
 			if !seen {
@@ -87,6 +115,13 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail PartitionFn
 	}); err != nil {
 		return nil, err
 	}
+	// The cached column is materialized driver-side between the passes:
+	// account for it like any other live dataset so peak-bytes regression
+	// contracts see it.
+	if ctx.Metrics != nil && cacheBytes.Load() > 0 {
+		ctx.Metrics.Alloc(cacheBytes.Load())
+		defer ctx.Metrics.Free(cacheBytes.Load())
+	}
 	if !seen {
 		out := &cluster.Dataset{}
 		charge(ctx, out, in)
@@ -96,10 +131,16 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail PartitionFn
 	// (if any) within the same task round.
 	out, err := ctx.MapPartitions(in, func(i int, part []types.Row) ([]types.Row, error) {
 		var keep []types.Row
-		for _, row := range part {
-			v, err := x.E.Eval(row)
-			if err != nil {
-				return nil, err
+		for ri, row := range part {
+			var v types.Value
+			if cols != nil {
+				v = cols[i][ri]
+			} else {
+				var err error
+				v, err = x.E.Eval(row)
+				if err != nil {
+					return nil, err
+				}
 			}
 			if v.IsNull() {
 				continue

@@ -88,6 +88,12 @@ type Options struct {
 	// round (the pre-fusion behaviour). Used by the equivalence contract
 	// tests and for A/B benchmarking of the fused execution path.
 	DisableStageFusion bool
+	// DisableColumnarKernel turns off the columnar dominance kernel: the
+	// skyline operators then run the boxed CompareFunc path on every
+	// partition (and the extremum filter re-evaluates its expression per
+	// pass). Result-identical; kept selectable for A/B ablation, mirroring
+	// DisableStageFusion.
+	DisableColumnarKernel bool
 }
 
 // Plan lowers a resolved (and optionally optimized) logical plan into a
@@ -161,7 +167,7 @@ func lower(n plan.Node, opts Options) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ExtremumFilterExec{E: p.E, Max: p.Max, Child: child}, nil
+		return &ExtremumFilterExec{E: p.E, Max: p.Max, DisableKernel: opts.DisableColumnarKernel, Child: child}, nil
 	case *plan.Join:
 		return planJoin(p, opts)
 	case *plan.SkylineOperator:
@@ -296,25 +302,26 @@ func planSkyline(s *plan.SkylineOperator, opts Options) (Operator, error) {
 		}
 	}
 
+	noKernel := opts.DisableColumnarKernel
 	switch strategy {
 	case SkylineDistributedComplete:
-		local := &LocalSkylineExec{Dims: dims, Distinct: s.Distinct, WindowCap: opts.SkylineWindowCap, Child: child}
+		local := &LocalSkylineExec{Dims: dims, Distinct: s.Distinct, WindowCap: opts.SkylineWindowCap, DisableKernel: noKernel, Child: child}
 		gather := &ExchangeExec{Dist: cluster.AllTuples, Child: local}
-		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalBNL, WindowCap: opts.SkylineWindowCap, Child: gather}, nil
+		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalBNL, WindowCap: opts.SkylineWindowCap, DisableKernel: noKernel, Child: gather}, nil
 	case SkylineNonDistributedComplete:
 		gather := &ExchangeExec{Dist: cluster.AllTuples, Child: child}
-		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalBNL, WindowCap: opts.SkylineWindowCap, Child: gather}, nil
+		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalBNL, WindowCap: opts.SkylineWindowCap, DisableKernel: noKernel, Child: gather}, nil
 	case SkylineDistributedIncomplete:
 		parts := &ExchangeExec{Dist: cluster.NullBitmap, Keys: dimExprs, Child: child}
-		local := &LocalSkylineExec{Dims: dims, Distinct: s.Distinct, Incomplete: true, Child: parts}
+		local := &LocalSkylineExec{Dims: dims, Distinct: s.Distinct, Incomplete: true, DisableKernel: noKernel, Child: parts}
 		gather := &ExchangeExec{Dist: cluster.AllTuples, Child: local}
-		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalIncompleteFlags, Child: gather}, nil
+		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalIncompleteFlags, DisableKernel: noKernel, Child: gather}, nil
 	case SkylineSFS:
 		gather := &ExchangeExec{Dist: cluster.AllTuples, Child: child}
-		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalSFS, Child: gather}, nil
+		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalSFS, DisableKernel: noKernel, Child: gather}, nil
 	case SkylineDivideAndConquer:
 		gather := &ExchangeExec{Dist: cluster.AllTuples, Child: child}
-		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalDivideAndConquer, Child: gather}, nil
+		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalDivideAndConquer, DisableKernel: noKernel, Child: gather}, nil
 	case SkylineGridComplete, SkylineAngleComplete, SkylineZorderComplete:
 		dist := cluster.Grid
 		switch strategy {
@@ -328,9 +335,9 @@ func planSkyline(s *plan.SkylineOperator, opts Options) (Operator, error) {
 			minimize[i] = d.Dir == skyline.Min
 		}
 		parts := &ExchangeExec{Dist: dist, Keys: dimExprs, Minimize: minimize, Child: child}
-		local := &LocalSkylineExec{Dims: dims, Distinct: s.Distinct, Child: parts}
+		local := &LocalSkylineExec{Dims: dims, Distinct: s.Distinct, DisableKernel: noKernel, Child: parts}
 		gather := &ExchangeExec{Dist: cluster.AllTuples, Child: local}
-		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalBNL, Child: gather}, nil
+		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalBNL, DisableKernel: noKernel, Child: gather}, nil
 	}
 	return nil, fmt.Errorf("physical: unknown skyline strategy %v", opts.Strategy)
 }

@@ -82,7 +82,10 @@ type LocalSkylineExec struct {
 	// switches to the multi-pass variant of the original BNL algorithm
 	// (§5.6 discusses the window's memory residency).
 	WindowCap int
-	Child     Operator
+	// DisableKernel forces the boxed CompareFunc path even when the
+	// partition decodes into a columnar batch (Options.DisableColumnarKernel).
+	DisableKernel bool
+	Child         Operator
 }
 
 func (l *LocalSkylineExec) Schema() *types.Schema { return l.Child.Schema() }
@@ -101,7 +104,10 @@ func (l *LocalSkylineExec) String() string {
 // into the enclosing stage.
 func (l *LocalSkylineExec) NarrowChild() Operator { return l.Child }
 
-// PartitionTransform returns the per-partition BNL closure.
+// PartitionTransform returns the per-partition BNL closure. Each partition
+// is decoded once into a columnar batch (the dominance kernel); partitions
+// the kernel cannot represent exactly fall back to the boxed CompareFunc
+// path transparently.
 func (l *LocalSkylineExec) PartitionTransform(ctx *cluster.Context) PartitionFn {
 	cmp := skyline.Compare
 	if l.Incomplete {
@@ -111,16 +117,33 @@ func (l *LocalSkylineExec) PartitionTransform(ctx *cluster.Context) PartitionFn 
 	if ctx.Metrics != nil {
 		stats = &ctx.Metrics.Sky
 	}
+	dirs := dirsOf(l.Dims)
 	return func(_ int, part []types.Row) ([]types.Row, error) {
 		pts, err := evalPoints(part, l.Dims)
 		if err != nil {
 			return nil, err
 		}
+		if !l.DisableKernel {
+			if b, ok := skyline.DecodeBatch(pts, dirs, l.Incomplete); ok {
+				var idx []int
+				var kerr error
+				if l.WindowCap > 0 {
+					idx, kerr = b.BNLBounded(l.Distinct, l.WindowCap)
+				} else {
+					idx = b.BNL(l.Distinct)
+				}
+				b.Flush(stats)
+				if kerr != nil {
+					return nil, kerr
+				}
+				return rowsOf(b.Points(idx)), nil
+			}
+		}
 		var sky []skyline.Point
 		if l.WindowCap > 0 {
-			sky, err = skyline.BNLBounded(pts, dirsOf(l.Dims), l.Distinct, l.WindowCap, cmp, stats)
+			sky, err = skyline.BNLBounded(pts, dirs, l.Distinct, l.WindowCap, cmp, stats)
 		} else {
-			sky, err = skyline.BNL(pts, dirsOf(l.Dims), l.Distinct, cmp, stats)
+			sky, err = skyline.BNL(pts, dirs, l.Distinct, cmp, stats)
 		}
 		if err != nil {
 			return nil, err
@@ -154,7 +177,10 @@ type GlobalSkylineExec struct {
 	// WindowCap bounds the BNL window of the GlobalBNL algorithm; 0 means
 	// unbounded. Other global algorithms ignore it.
 	WindowCap int
-	Child     Operator
+	// DisableKernel forces the boxed CompareFunc path even when the input
+	// decodes into a columnar batch (Options.DisableColumnarKernel).
+	DisableKernel bool
+	Child         Operator
 }
 
 // GlobalAlgorithm selects the global skyline computation.
@@ -204,6 +230,18 @@ func (g *GlobalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, err
 		stats = &ctx.Metrics.Sky
 	}
 	dirs := dirsOf(g.Dims)
+	if !g.DisableKernel {
+		// Decode once, run the columnar kernel; unknown algorithms and
+		// non-decodable inputs fall through to the boxed path below.
+		if rows, ok, kerr := g.executeKernel(pts, dirs, stats); ok {
+			if kerr != nil {
+				return nil, kerr
+			}
+			out := cluster.NewDataset(rows)
+			charge(ctx, out, in)
+			return out, nil
+		}
+	}
 	var sky []skyline.Point
 	switch g.Algorithm {
 	case GlobalBNL:
@@ -227,4 +265,37 @@ func (g *GlobalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, err
 	out := cluster.NewDataset(rowsOf(sky))
 	charge(ctx, out, in)
 	return out, nil
+}
+
+// executeKernel runs the selected global algorithm on a decoded columnar
+// batch. ok=false means the input (or the algorithm) is not kernel-eligible
+// and the boxed path must run instead.
+func (g *GlobalSkylineExec) executeKernel(pts []skyline.Point, dirs []skyline.Dir, stats *skyline.Stats) (rows []types.Row, ok bool, err error) {
+	incomplete := g.Algorithm == GlobalIncompleteFlags
+	b, decoded := skyline.DecodeBatch(pts, dirs, incomplete)
+	if !decoded {
+		return nil, false, nil
+	}
+	var idx []int
+	switch g.Algorithm {
+	case GlobalBNL:
+		if g.WindowCap > 0 {
+			idx, err = b.BNLBounded(g.Distinct, g.WindowCap)
+		} else {
+			idx = b.BNL(g.Distinct)
+		}
+	case GlobalIncompleteFlags:
+		idx = b.GlobalIncomplete(g.Distinct)
+	case GlobalSFS:
+		idx = b.SFS(g.Distinct)
+	case GlobalDivideAndConquer:
+		idx = b.DivideAndConquer(g.Distinct)
+	default:
+		return nil, false, nil
+	}
+	b.Flush(stats)
+	if err != nil {
+		return nil, true, err
+	}
+	return rowsOf(b.Points(idx)), true, nil
 }

@@ -81,6 +81,64 @@ func BenchmarkGlobalIncomplete(b *testing.B) {
 	}
 }
 
+// BenchmarkDominanceBNLBoxed / BenchmarkDominanceBNLColumnar are the
+// kernel A/B micro-benchmarks (CI runs them with -bench=Dominance): the
+// same 10k-point BNL skyline through the boxed CompareFunc path and
+// through DecodeBatch + the columnar kernel (decode cost included). The
+// acceptance bar for the kernel is a ≥3x speedup at 2–6 dimensions.
+func BenchmarkDominanceBNLBoxed(b *testing.B) {
+	for _, d := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("n=10000/d=%d", d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			dirs := make([]Dir, d)
+			pts := genPoints(rng, 10000, d, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := BNL(pts, dirs, false, Compare, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDominanceBNLColumnar(b *testing.B) {
+	for _, d := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("n=10000/d=%d", d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			dirs := make([]Dir, d)
+			pts := genPoints(rng, 10000, d, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch, ok := DecodeBatch(pts, dirs, false)
+				if !ok {
+					b.Fatal("decode failed")
+				}
+				batch.Points(batch.BNL(false))
+			}
+		})
+	}
+}
+
+// BenchmarkDominanceCompareDecoded is the single-test twin of
+// BenchmarkDominanceCheck: one decoded dominance classification.
+func BenchmarkDominanceCompareDecoded(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	dirs := []Dir{Min, Max, Min, Max, Min, Max}
+	pts := genPoints(rng, 2, 6, 0)
+	batch, ok := DecodeBatch(pts, dirs, false)
+	if !ok {
+		b.Fatal("decode failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.CompareDecoded(0, 1)
+	}
+}
+
 func BenchmarkDominanceCheck(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	dirs := []Dir{Min, Max, Min, Max, Min, Max}

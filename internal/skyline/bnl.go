@@ -19,12 +19,14 @@ import "skysql/internal/types"
 // null-bitmap partition of incomplete data (where all tuples share their
 // NULL positions). cmp selects the dominance definition.
 func BNL(points []Point, dirs []Dir, distinct bool, cmp CompareFunc, stats *Stats) ([]Point, error) {
+	var local Counters
+	defer stats.Merge(&local)
 	window := make([]Point, 0, 16)
 	for _, t := range points {
 		dominated := false
 		keep := window[:0]
 		for wi, w := range window {
-			rel, err := cmp(w.Dims, t.Dims, dirs, stats)
+			rel, err := cmp(w.Dims, t.Dims, dirs, &local)
 			if err != nil {
 				return nil, err
 			}
@@ -58,5 +60,7 @@ func BNL(points []Point, dirs []Dir, distinct bool, cmp CompareFunc, stats *Stat
 }
 
 // CompareFunc is the dominance classifier used by the window algorithms:
-// either Compare (complete data) or CompareIncomplete.
-type CompareFunc func(a, b types.Row, dirs []Dir, stats *Stats) (Relation, error)
+// either Compare (complete data) or CompareIncomplete. It receives the
+// algorithm's invocation-local Counters; the algorithm merges them into
+// the shared Stats once at the end.
+type CompareFunc func(a, b types.Row, dirs []Dir, counters *Counters) (Relation, error)

@@ -20,6 +20,8 @@ func BNLBounded(points []Point, dirs []Dir, distinct bool, windowCap int, cmp Co
 	if windowCap < 1 {
 		return nil, fmt.Errorf("skyline: window capacity must be positive, got %d", windowCap)
 	}
+	var local Counters
+	defer stats.Merge(&local)
 	var out []Point
 	input := points
 	for pass := 0; len(input) > 0; pass++ {
@@ -39,7 +41,7 @@ func BNLBounded(points []Point, dirs []Dir, distinct bool, windowCap int, cmp Co
 			dominated := false
 			keep := window[:0]
 			for wi, w := range window {
-				rel, err := cmp(w.p.Dims, t.Dims, dirs, stats)
+				rel, err := cmp(w.p.Dims, t.Dims, dirs, &local)
 				if err != nil {
 					return nil, err
 				}

@@ -11,6 +11,15 @@
 //   - SFS and DivideAndConquer — the sorting-based and partition-based
 //     alternatives the paper lists as future work (§7), provided for
 //     ablation benchmarks.
+//   - Batch / DecodeBatch / CompareDecoded — the columnar dominance
+//     kernel: a partition's points are decoded ONCE into dense,
+//     direction-normalized float64 vectors (plus a null bitmask and
+//     interned DIFF keys), after which every dominance test is pure index
+//     arithmetic with no Value boxing, no error returns, and batch-local
+//     cost counters. Every window algorithm has a batch-index twin
+//     (Batch.BNL, Batch.SFS, …) that emits the same rows in the same
+//     order as its boxed counterpart; inputs the kernel cannot represent
+//     exactly are refused at decode and served by the boxed path.
 //
 // The package is deliberately independent of plans and expressions: it
 // operates on Points, i.e. tuples whose skyline-dimension values have
@@ -56,10 +65,35 @@ type Point struct {
 
 // Stats collects machine-independent cost counters. All methods are safe
 // for concurrent use; local skylines on different partitions share one
-// Stats.
+// Stats. The dominance-test inner loops never touch Stats directly: they
+// accumulate into a plain Counters and merge once per algorithm invocation
+// (or once per decoded batch), so the O(n²) hot path performs no atomic
+// operations.
 type Stats struct {
 	dominanceTests atomic.Int64
 	comparisons    atomic.Int64
+}
+
+// Counters is the batch-local, non-atomic accumulator threaded through the
+// dominance tests of one algorithm invocation. A nil *Counters disables
+// counting. Merge the result into a shared Stats once at the end.
+type Counters struct {
+	Tests       int64
+	Comparisons int64
+}
+
+// AddTests records n dominance tests.
+func (c *Counters) AddTests(n int64) {
+	if c != nil {
+		c.Tests += n
+	}
+}
+
+// AddComparisons records n scalar comparisons.
+func (c *Counters) AddComparisons(n int64) {
+	if c != nil {
+		c.Comparisons += n
+	}
 }
 
 // AddTests records n dominance tests.
@@ -73,6 +107,20 @@ func (s *Stats) AddTests(n int64) {
 func (s *Stats) AddComparisons(n int64) {
 	if s != nil {
 		s.comparisons.Add(n)
+	}
+}
+
+// Merge flushes batch-local counters into the shared stats: two atomic
+// adds per algorithm invocation instead of two per dominance test.
+func (s *Stats) Merge(c *Counters) {
+	if s == nil || c == nil {
+		return
+	}
+	if c.Tests != 0 {
+		s.dominanceTests.Add(c.Tests)
+	}
+	if c.Comparisons != 0 {
+		s.comparisons.Add(c.Comparisons)
 	}
 }
 
@@ -112,8 +160,11 @@ const (
 // is returned otherwise. NULLs make a pair incomparable under the complete
 // definition, which callers avoid by routing nullable inputs to the
 // incomplete algorithms.
-func Compare(a, b types.Row, dirs []Dir, stats *Stats) (Relation, error) {
-	stats.AddTests(1)
+//
+// counters is the invocation-local accumulator (may be nil); callers
+// running many tests merge it into a shared Stats once at the end.
+func Compare(a, b types.Row, dirs []Dir, counters *Counters) (Relation, error) {
+	counters.AddTests(1)
 	aBetter, bBetter := false, false
 	for i, dir := range dirs {
 		av, bv := a[i], b[i]
@@ -133,7 +184,7 @@ func Compare(a, b types.Row, dirs []Dir, stats *Stats) (Relation, error) {
 			continue
 		}
 		c, ok := types.CompareValues(av, bv)
-		stats.AddComparisons(1)
+		counters.AddComparisons(1)
 		if !ok {
 			return Incomparable, fmt.Errorf("skyline: incomparable kinds %s and %s in dimension %d", av.Kind(), bv.Kind(), i)
 		}
@@ -165,8 +216,8 @@ func Compare(a, b types.Row, dirs []Dir, stats *Stats) (Relation, error) {
 // definition (§3): every comparison is restricted to dimensions where both
 // tuples are non-NULL. Transitivity is NOT guaranteed; callers must use
 // cycle-safe algorithms (GlobalIncomplete).
-func CompareIncomplete(a, b types.Row, dirs []Dir, stats *Stats) (Relation, error) {
-	stats.AddTests(1)
+func CompareIncomplete(a, b types.Row, dirs []Dir, counters *Counters) (Relation, error) {
+	counters.AddTests(1)
 	aBetter, bBetter := false, false
 	sameNullPattern := true
 	for i, dir := range dirs {
@@ -184,7 +235,7 @@ func CompareIncomplete(a, b types.Row, dirs []Dir, stats *Stats) (Relation, erro
 			continue
 		}
 		c, ok := types.CompareValues(av, bv)
-		stats.AddComparisons(1)
+		counters.AddComparisons(1)
 		if !ok {
 			return Incomparable, fmt.Errorf("skyline: incomparable kinds %s and %s in dimension %d", av.Kind(), bv.Kind(), i)
 		}
@@ -216,15 +267,15 @@ func CompareIncomplete(a, b types.Row, dirs []Dir, stats *Stats) (Relation, erro
 }
 
 // Dominates reports whether a ≺ b under the complete-data definition.
-func Dominates(a, b types.Row, dirs []Dir, stats *Stats) (bool, error) {
-	rel, err := Compare(a, b, dirs, stats)
+func Dominates(a, b types.Row, dirs []Dir, counters *Counters) (bool, error) {
+	rel, err := Compare(a, b, dirs, counters)
 	return rel == LeftDominates, err
 }
 
 // DominatesIncomplete reports whether a ≺ b under the incomplete-data
 // definition.
-func DominatesIncomplete(a, b types.Row, dirs []Dir, stats *Stats) (bool, error) {
-	rel, err := CompareIncomplete(a, b, dirs, stats)
+func DominatesIncomplete(a, b types.Row, dirs []Dir, counters *Counters) (bool, error) {
+	rel, err := CompareIncomplete(a, b, dirs, counters)
 	return rel == LeftDominates, err
 }
 

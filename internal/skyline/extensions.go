@@ -44,6 +44,8 @@ func entropyScore(dims types.Row, dirs []Dir) float64 {
 // SFS requires the data on a single node, which is the drawback the paper
 // cites for sorting-based algorithms in a distributed setting (§2).
 func SFS(points []Point, dirs []Dir, distinct bool, stats *Stats) ([]Point, error) {
+	var local Counters
+	defer stats.Merge(&local)
 	sorted := make([]Point, len(points))
 	copy(sorted, points)
 	sort.SliceStable(sorted, func(i, j int) bool {
@@ -53,7 +55,7 @@ func SFS(points []Point, dirs []Dir, distinct bool, stats *Stats) ([]Point, erro
 	for _, t := range sorted {
 		dominated := false
 		for _, w := range window {
-			rel, err := Compare(w.Dims, t.Dims, dirs, stats)
+			rel, err := Compare(w.Dims, t.Dims, dirs, &local)
 			if err != nil {
 				return nil, err
 			}

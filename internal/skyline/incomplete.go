@@ -12,12 +12,14 @@ package skyline
 // correction of the erroneous algorithm of [Gulzar et al. 2019] that the
 // paper describes in Appendix A.
 func GlobalIncomplete(points []Point, dirs []Dir, distinct bool, stats *Stats) ([]Point, error) {
+	var local Counters
+	defer stats.Merge(&local)
 	n := len(points)
 	dominated := make([]bool, n)
 	duplicate := make([]bool, n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			rel, err := CompareIncomplete(points[i].Dims, points[j].Dims, dirs, stats)
+			rel, err := CompareIncomplete(points[i].Dims, points[j].Dims, dirs, &local)
 			if err != nil {
 				return nil, err
 			}
@@ -84,6 +86,8 @@ func NaiveIncomplete(points []Point, dirs []Dir, distinct bool, stats *Stats) ([
 }
 
 func naive(points []Point, dirs []Dir, distinct bool, cmp CompareFunc, stats *Stats) ([]Point, error) {
+	var local Counters
+	defer stats.Merge(&local)
 	out := make([]Point, 0, len(points))
 	for i, p := range points {
 		keep := true
@@ -91,7 +95,7 @@ func naive(points []Point, dirs []Dir, distinct bool, cmp CompareFunc, stats *St
 			if i == j {
 				continue
 			}
-			rel, err := cmp(q.Dims, p.Dims, dirs, stats)
+			rel, err := cmp(q.Dims, p.Dims, dirs, &local)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package skyline
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -154,6 +155,289 @@ func TestQuickOrderInsensitivity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// kernelDirs exercises every dimension flavor the kernel decodes: MIN,
+// MAX, and a DIFF equality dimension.
+var kernelDirs = []Dir{Min, Max, Diff, Min}
+
+// kernelPointSet is a quick.Generator for kernel-equivalence properties:
+// small value domains force duplicates, NULLs appear in every dimension
+// (including DIFF), and dimension kinds mix int, float, string and bool.
+type kernelPointSet struct {
+	pts []Point
+}
+
+// Generate implements quick.Generator.
+func (kernelPointSet) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := rng.Intn(50)
+	// Per-dataset kind choices keep columns plausible while still mixing
+	// int/float within numeric columns.
+	diffKind := rng.Intn(3) // 0: numeric, 1: string, 2: bool
+	pts := make([]Point, n)
+	for i := range pts {
+		dims := make(types.Row, len(kernelDirs))
+		for d, dir := range kernelDirs {
+			if rng.Float64() < 0.15 {
+				dims[d] = types.Null
+				continue
+			}
+			if dir == Diff {
+				switch diffKind {
+				case 0:
+					if rng.Intn(2) == 0 {
+						dims[d] = types.Int(int64(rng.Intn(3)))
+					} else {
+						dims[d] = types.Float(float64(rng.Intn(3)))
+					}
+				case 1:
+					dims[d] = types.Str(string(rune('a' + rng.Intn(3))))
+				default:
+					dims[d] = types.Bool(rng.Intn(2) == 0)
+				}
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				dims[d] = types.Int(int64(rng.Intn(5)))
+			} else {
+				dims[d] = types.Float(float64(rng.Intn(5)))
+			}
+		}
+		pts[i] = Point{Dims: dims, Row: dims}
+	}
+	return reflect.ValueOf(kernelPointSet{pts: pts})
+}
+
+// TestQuickCompareDecodedMatchesBoxed: over randomized data with NULLs,
+// DIFF dimensions, duplicates and mixed numeric kinds, CompareDecoded must
+// classify every pair exactly like the boxed Compare/CompareIncomplete.
+func TestQuickCompareDecodedMatchesBoxed(t *testing.T) {
+	for _, incomplete := range []bool{false, true} {
+		f := func(ps kernelPointSet) bool {
+			b, ok := DecodeBatch(ps.pts, kernelDirs, incomplete)
+			if !ok {
+				t.Fatalf("DecodeBatch refused decodable data: %v", ps.pts)
+			}
+			for i := range ps.pts {
+				for j := range ps.pts {
+					var want Relation
+					var err error
+					if incomplete {
+						want, err = CompareIncomplete(ps.pts[i].Dims, ps.pts[j].Dims, kernelDirs, nil)
+					} else {
+						want, err = Compare(ps.pts[i].Dims, ps.pts[j].Dims, kernelDirs, nil)
+					}
+					if err != nil {
+						t.Fatalf("boxed compare errored on decodable data: %v", err)
+					}
+					if got := b.CompareDecoded(i, j); got != want {
+						t.Fatalf("incomplete=%v: CompareDecoded(%v, %v) = %v, boxed = %v",
+							incomplete, ps.pts[i].Dims, ps.pts[j].Dims, got, want)
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// samePoints asserts exact emission-order equality, the contract the
+// kernel algorithms give so kernel-on/off plans are row-for-row identical.
+func samePoints(got, want []Point) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].Dims.String() != want[i].Dims.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickBatchAlgorithmsMatchBoxed: every batch algorithm must emit the
+// same points in the same order as its boxed counterpart, with distinct
+// both ways.
+func TestQuickBatchAlgorithmsMatchBoxed(t *testing.T) {
+	for _, distinct := range []bool{false, true} {
+		f := func(ps kernelPointSet) bool {
+			// Complete-definition algorithms.
+			cb, ok := DecodeBatch(ps.pts, kernelDirs, false)
+			if !ok {
+				t.Fatal("DecodeBatch refused decodable data")
+			}
+			type algo struct {
+				name  string
+				boxed func() ([]Point, error)
+				batch func() ([]int, error)
+			}
+			algos := []algo{
+				{"BNL",
+					func() ([]Point, error) { return BNL(ps.pts, kernelDirs, distinct, Compare, nil) },
+					func() ([]int, error) { return cb.BNL(distinct), nil }},
+				{"SFS",
+					func() ([]Point, error) { return SFS(ps.pts, kernelDirs, distinct, nil) },
+					func() ([]int, error) { return cb.SFS(distinct), nil }},
+				{"DivideAndConquer",
+					func() ([]Point, error) { return DivideAndConquer(ps.pts, kernelDirs, distinct, nil) },
+					func() ([]int, error) { return cb.DivideAndConquer(distinct), nil }},
+				{"BNLBounded",
+					func() ([]Point, error) { return BNLBounded(ps.pts, kernelDirs, distinct, 4, Compare, nil) },
+					func() ([]int, error) { return cb.BNLBounded(distinct, 4) }},
+			}
+			// Incomplete-definition algorithms on their own decoded batch.
+			ib, ok := DecodeBatch(ps.pts, kernelDirs, true)
+			if !ok {
+				t.Fatal("DecodeBatch refused decodable data")
+			}
+			algos = append(algos,
+				algo{"GlobalIncomplete",
+					func() ([]Point, error) { return GlobalIncomplete(ps.pts, kernelDirs, distinct, nil) },
+					func() ([]int, error) { return ib.GlobalIncomplete(distinct), nil }},
+				algo{"LocalIncompleteBNL",
+					func() ([]Point, error) { return BNL(ps.pts, kernelDirs, distinct, CompareIncomplete, nil) },
+					func() ([]int, error) { return ib.BNL(distinct), nil }})
+			for _, a := range algos {
+				want, err := a.boxed()
+				if err != nil {
+					t.Fatalf("%s boxed: %v", a.name, err)
+				}
+				idx, err := a.batch()
+				if err != nil {
+					t.Fatalf("%s batch: %v", a.name, err)
+				}
+				src := cb
+				if a.name == "GlobalIncomplete" || a.name == "LocalIncompleteBNL" {
+					src = ib
+				}
+				if got := src.Points(idx); !samePoints(got, want) {
+					t.Fatalf("distinct=%v %s: kernel emitted %v, boxed %v", distinct, a.name, got, want)
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestQuickDenseWindowPathsMatchBoxed covers the specialized dense window
+// loops (bnlDense and its 2-dimension unrolling), which only engage on
+// purely numeric, DIFF-free batches: for 2, 3 and 5 dimensions, with and
+// without NULLs, batch BNL must emit exactly what boxed BNL emits.
+func TestQuickDenseWindowPathsMatchBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	dirSets := [][]Dir{
+		{Min, Max},           // stride 2: bnlDense2
+		{Min, Max, Min},      // stride 3: bnlDense
+		{Max, Min, Min, Max}, // stride 4: bnlDense
+		{Min, Min, Min, Max, Max},
+	}
+	for trial := 0; trial < 200; trial++ {
+		dirs := dirSets[trial%len(dirSets)]
+		withNull := trial%3 == 0
+		n := rng.Intn(80)
+		pts := make([]Point, n)
+		for i := range pts {
+			dims := make(types.Row, len(dirs))
+			for d := range dims {
+				switch {
+				case withNull && rng.Float64() < 0.2:
+					dims[d] = types.Null
+				case rng.Intn(2) == 0:
+					dims[d] = types.Int(int64(rng.Intn(4)))
+				default:
+					dims[d] = types.Float(float64(rng.Intn(4)))
+				}
+			}
+			pts[i] = Point{Dims: dims, Row: dims}
+		}
+		for _, distinct := range []bool{false, true} {
+			for _, incomplete := range []bool{false, true} {
+				b, ok := DecodeBatch(pts, dirs, incomplete)
+				if !ok {
+					t.Fatal("DecodeBatch refused numeric data")
+				}
+				cmp := Compare
+				if incomplete {
+					cmp = CompareIncomplete
+				}
+				want, err := BNL(pts, dirs, distinct, cmp, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := b.Points(b.BNL(distinct)); !samePoints(got, want) {
+					t.Fatalf("trial %d dirs=%v distinct=%v incomplete=%v null=%v: kernel %v, boxed %v",
+						trial, dirs, distinct, incomplete, withNull, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeBatchRefusals pins the exactness guards: inputs whose boxed
+// semantics a float64/interned representation cannot reproduce must be
+// refused, not decoded approximately.
+func TestDecodeBatchRefusals(t *testing.T) {
+	mk := func(vals ...types.Value) Point {
+		return Point{Dims: types.Row(vals), Row: types.Row(vals)}
+	}
+	big := int64(1) << 60
+	cases := []struct {
+		name string
+		pts  []Point
+		dirs []Dir
+	}{
+		{"string min dim", []Point{mk(types.Str("x"))}, []Dir{Min}},
+		{"bool max dim", []Point{mk(types.Bool(true))}, []Dir{Max}},
+		{"NaN value", []Point{mk(types.Float(math.NaN()))}, []Dir{Min}},
+		{"int beyond 2^53", []Point{mk(types.Int(big))}, []Dir{Min}},
+		{"diff mixing big int and float", []Point{mk(types.Int(big)), mk(types.Float(1.5))}, []Dir{Diff}},
+		{"no dimensions", []Point{mk()}, nil},
+		{"ragged point", []Point{mk(types.Int(1))}, []Dir{Min, Min}},
+	}
+	for _, c := range cases {
+		if _, ok := DecodeBatch(c.pts, c.dirs, false); ok {
+			t.Errorf("%s: DecodeBatch must refuse", c.name)
+		}
+	}
+	// Sanity: big ints are decodable for DIFF when the column has no floats.
+	pts := []Point{mk(types.Int(big)), mk(types.Int(big)), mk(types.Int(big + 1))}
+	b, ok := DecodeBatch(pts, []Dir{Diff}, false)
+	if !ok {
+		t.Fatal("all-int DIFF column with big values must decode")
+	}
+	if b.CompareDecoded(0, 1) != Equal || b.CompareDecoded(0, 2) != Incomparable {
+		t.Error("big-int DIFF interning must stay exact")
+	}
+}
+
+// TestBatchStatsFlush pins the batched accounting: counters accumulate
+// locally and reach the shared Stats only via Flush.
+func TestBatchStatsFlush(t *testing.T) {
+	pts := []Point{pt(1, 1, 1, 1), pt(2, 2, 1, 2), pt(3, 3, 1, 3)}
+	b, ok := DecodeBatch(pts, kernelDirs, false)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	b.BNL(false)
+	stats := &Stats{}
+	if stats.DominanceTests() != 0 {
+		t.Fatal("stats must stay untouched before Flush")
+	}
+	b.Flush(stats)
+	if stats.DominanceTests() == 0 || stats.Comparisons() == 0 {
+		t.Error("Flush must merge batch counters into stats")
+	}
+	before := stats.DominanceTests()
+	b.Flush(stats)
+	if stats.DominanceTests() != before {
+		t.Error("Flush must reset local counters")
 	}
 }
 

@@ -73,9 +73,13 @@ func (inc *Incremental) Add(dims types.Row, row types.Row) (Event, error) {
 	inc.seen++
 	t := skyline.Point{Dims: dims, Row: row}
 	var evicted []skyline.Point
+	// Accumulate counters locally for the whole window scan and merge once,
+	// matching the batch engine's per-invocation Stats flushing.
+	var local skyline.Counters
+	defer inc.stats.Merge(&local)
 	keep := inc.window[:0]
 	for wi, w := range inc.window {
-		rel, err := skyline.Compare(w.Dims, t.Dims, inc.dirs, inc.stats)
+		rel, err := skyline.Compare(w.Dims, t.Dims, inc.dirs, &local)
 		if err != nil {
 			return Event{}, err
 		}

@@ -111,6 +111,30 @@ func (v Value) AsBool() bool {
 // IsNumeric reports whether the value is an int or float.
 func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
 
+// MaxExactFloatInt is the largest integer magnitude represented exactly by
+// a float64 (2⁵³); beyond it the int64 ordering and the float64 ordering
+// differ. The columnar dominance kernel uses it as its decode exactness
+// bound for both MIN/MAX and DIFF dimensions.
+const MaxExactFloatInt = int64(1) << 53
+
+// OrderKey returns the float64 ordering key of a numeric value for the
+// columnar dominance kernel: exact for floats (NaN refused — CompareValues
+// gives NaN a special total order) and for integers within ±2⁵³ (refused
+// beyond, where the conversion loses order). ok=false for NULL and
+// non-numeric kinds. Small enough to inline into decode loops.
+func (v Value) OrderKey() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, v.f == v.f // NaN: v.f != v.f
+	case KindInt:
+		if v.i > MaxExactFloatInt || v.i < -MaxExactFloatInt {
+			return 0, false
+		}
+		return float64(v.i), true
+	}
+	return 0, false
+}
+
 // String renders the value the way a query shell would print it.
 func (v Value) String() string {
 	switch v.kind {

@@ -19,6 +19,7 @@ type Session struct {
 	simulate  bool
 	windowCap int
 	noFusion  bool
+	noKernel  bool
 }
 
 // Option configures a session.
@@ -68,6 +69,15 @@ func WithSkylineWindow(n int) Option {
 // A/B comparison and debugging.
 func WithoutStageFusion() Option {
 	return func(s *Session) { s.noFusion = true }
+}
+
+// WithoutColumnarKernel disables the columnar dominance kernel: skyline
+// operators then run every dominance test through the boxed compare path
+// instead of decode-once float64 column batches. The default (kernel)
+// execution is result-identical; this switch exists for A/B ablation and
+// debugging, mirroring WithoutStageFusion.
+func WithoutColumnarKernel() Option {
+	return func(s *Session) { s.noKernel = true }
 }
 
 // NewSession creates a session with an empty catalog.
@@ -135,9 +145,10 @@ func (s *Session) Tables() []string { return s.engine.Catalog.Names() }
 // options assembles the physical planning options of this session.
 func (s *Session) options() physical.Options {
 	return physical.Options{
-		Strategy:           s.strategy,
-		SkylineWindowCap:   s.windowCap,
-		DisableStageFusion: s.noFusion,
+		Strategy:              s.strategy,
+		SkylineWindowCap:      s.windowCap,
+		DisableStageFusion:    s.noFusion,
+		DisableColumnarKernel: s.noKernel,
 	}
 }
 

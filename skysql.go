@@ -33,6 +33,14 @@
 // intermediate datasets and costs one scheduling round instead of three.
 // EXPLAIN renders the stage boundaries; WithoutStageFusion restores the
 // per-operator path for A/B comparison.
+//
+// Skyline dominance testing — the O(n²) innermost loop of every skyline
+// operator — runs on a columnar kernel: each partition is decoded once
+// into direction-normalized float64 vectors and every dominance test is
+// pure index arithmetic. Partitions with non-numeric or otherwise
+// non-decodable skyline dimensions fall back transparently to the boxed
+// compare path; WithoutColumnarKernel forces that path everywhere for A/B
+// ablation.
 package skysql
 
 import (

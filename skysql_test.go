@@ -394,3 +394,81 @@ func TestDataFrameChainedOrderBy(t *testing.T) {
 		t.Errorf("chained order = %v", rows[:2])
 	}
 }
+
+func TestWithoutColumnarKernelOption(t *testing.T) {
+	// The boxed and kernel paths must agree end-to-end; both sessions run
+	// the same query and dominance-test accounting must reach the metrics
+	// either way.
+	q := "SELECT id, price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX"
+	kernel := hotelSession(t)
+	krows, err := kernel.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxed := skysql.NewSession(skysql.WithExecutors(3), skysql.WithoutColumnarKernel())
+	hotelInto(t, boxed)
+	brows, err := boxed.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, bg := rowsToStrings(krows), rowsToStrings(brows)
+	if strings.Join(kg, "|") != strings.Join(bg, "|") {
+		t.Fatalf("kernel rows %v != boxed rows %v", kg, bg)
+	}
+	df, err := kernel.SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if df.Metrics().Sky.DominanceTests() == 0 {
+		t.Error("kernel path must record dominance tests")
+	}
+}
+
+func TestExplainStageTimesAfterRun(t *testing.T) {
+	sess := hotelSession(t)
+	df, err := sess.SQL("SELECT * FROM hotels SKYLINE OF price MIN, user_rating MAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := df.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(before, "Stage Times") {
+		t.Error("stage times must not render before the first run")
+	}
+	if _, err := df.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := df.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after, "== Stage Times (last run) ==") || !strings.Contains(after, "stage  1:") {
+		t.Errorf("explain after run must include the stage-time breakdown:\n%s", after)
+	}
+}
+
+// hotelInto registers the hotels table of hotelSession into an
+// already-configured session.
+func hotelInto(t testing.TB, sess *skysql.Session) {
+	schema := skysql.NewSchema(
+		skysql.Field{Name: "id", Type: skysql.KindInt},
+		skysql.Field{Name: "price", Type: skysql.KindInt},
+		skysql.Field{Name: "user_rating", Type: skysql.KindInt},
+	)
+	rows := []skysql.Row{
+		{skysql.Int(1), skysql.Int(50), skysql.Int(7)},
+		{skysql.Int(2), skysql.Int(60), skysql.Int(9)},
+		{skysql.Int(3), skysql.Int(80), skysql.Int(9)},
+		{skysql.Int(4), skysql.Int(40), skysql.Int(5)},
+		{skysql.Int(5), skysql.Int(55), skysql.Int(7)},
+		{skysql.Int(6), skysql.Int(45), skysql.Int(8)},
+	}
+	if err := sess.CreateTable("hotels", schema, rows); err != nil {
+		t.Fatal(err)
+	}
+}
