@@ -31,13 +31,13 @@ func (t *tableFlag) Set(v string) error { *t = append(*t, v); return nil }
 
 func main() {
 	var (
-		tables    tableFlag
-		query     = flag.String("q", "", "query to execute (omit for interactive shell)")
-		executors = flag.Int("executors", 4, "executor count")
-		explain   = flag.Bool("explain", false, "print plans instead of executing")
+		tables     tableFlag
+		query      = flag.String("q", "", "query to execute (omit for interactive shell)")
+		executors  = flag.Int("executors", 4, "executor count")
+		explain    = flag.Bool("explain", false, "print plans instead of executing")
+		showStages = flag.Bool("stages", false, "print the per-stage makespan breakdown after each query")
 	)
 	flag.Var(&tables, "table", "name=file.csv:kind,kind,... (repeatable)")
-	flag.BoolVar(&showStages, "stages", false, "print the per-stage makespan breakdown after each query")
 	flag.Parse()
 
 	sess := skysql.NewSession(skysql.WithExecutors(*executors))
@@ -49,13 +49,13 @@ func main() {
 	}
 
 	if *query != "" {
-		if err := execute(sess, *query, *explain); err != nil {
+		if err := execute(sess, *query, *explain, *showStages); err != nil {
 			fmt.Fprintln(os.Stderr, "skysql:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	shell(sess)
+	shell(sess, *showStages)
 }
 
 func loadTable(sess *skysql.Session, spec string) error {
@@ -83,7 +83,9 @@ func loadTable(sess *skysql.Session, spec string) error {
 	return sess.LoadCSV(name, path, kinds)
 }
 
-func execute(sess *skysql.Session, query string, explain bool) error {
+// execute runs (or explains) one query; showStages additionally prints the
+// per-stage makespan breakdown and decode counter of the run.
+func execute(sess *skysql.Session, query string, explain, showStages bool) error {
 	if explain {
 		out, err := sess.Explain(query)
 		if err != nil {
@@ -112,16 +114,13 @@ func execute(sess *skysql.Session, query string, explain bool) error {
 			if s := m.FormatStageTimes(); s != "" {
 				fmt.Print("stage makespans:\n" + s)
 			}
+			fmt.Printf("batches decoded: %d\n", m.BatchesDecoded())
 		}
 	}
 	return nil
 }
 
-// showStages prints the per-stage makespan breakdown after each executed
-// query (-stages flag, or the shell's \s command).
-var showStages bool
-
-func shell(sess *skysql.Session) {
+func shell(sess *skysql.Session, showStages bool) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Println("skysql shell — \\q to quit, \\t for tables, \\e <sql> to explain, \\s <sql> for stage times")
@@ -141,18 +140,15 @@ func shell(sess *skysql.Session) {
 				fmt.Println(t)
 			}
 		case strings.HasPrefix(line, `\e `):
-			if err := execute(sess, strings.TrimPrefix(line, `\e `), true); err != nil {
+			if err := execute(sess, strings.TrimPrefix(line, `\e `), true, showStages); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 		case strings.HasPrefix(line, `\s `):
-			prev := showStages
-			showStages = true
-			if err := execute(sess, strings.TrimPrefix(line, `\s `), false); err != nil {
+			if err := execute(sess, strings.TrimPrefix(line, `\s `), false, true); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
-			showStages = prev
 		default:
-			if err := execute(sess, line, false); err != nil {
+			if err := execute(sess, line, false, showStages); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 		}

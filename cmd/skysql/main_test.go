@@ -51,13 +51,13 @@ func TestExecuteAndExplain(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := "SELECT * FROM hotels SKYLINE OF price MIN, rating MAX"
-	if err := execute(sess, q, false); err != nil {
+	if err := execute(sess, q, false, true); err != nil {
 		t.Errorf("execute: %v", err)
 	}
-	if err := execute(sess, q, true); err != nil {
+	if err := execute(sess, q, true, false); err != nil {
 		t.Errorf("explain: %v", err)
 	}
-	if err := execute(sess, "garbage", false); err == nil {
+	if err := execute(sess, "garbage", false, false); err == nil {
 		t.Error("bad query must error")
 	}
 }

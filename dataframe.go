@@ -333,6 +333,7 @@ func (df *DataFrame) Explain() (string, error) {
 		if breakdown := df.metrics.FormatStageTimes(); breakdown != "" {
 			out += "== Stage Times (last run) ==\n" + breakdown
 		}
+		out += fmt.Sprintf("batches decoded: %d\n", df.metrics.BatchesDecoded())
 	}
 	return out, nil
 }

@@ -66,8 +66,13 @@ type Spec struct {
 	Executors  int
 	Algorithm  core.Algorithm
 	// NoKernel disables the columnar dominance kernel for this run (the
-	// boxed-path side of the kernel A/B ablation).
+	// boxed-path side of the kernel A/B ablation, which also disables the
+	// batch sidecars exchanges would otherwise carry).
 	NoKernel bool
+	// AdaptiveTarget, when positive, enables adaptive post-exchange
+	// partitioning with this rows-per-partition target
+	// (cluster.Context.TargetRowsPerPartition).
+	AdaptiveTarget int
 }
 
 // Measurement is the outcome of one run.
@@ -87,9 +92,16 @@ type Measurement struct {
 	// StageSeconds is the per-stage makespan breakdown, in execution
 	// order, exposing which stage dominates the query.
 	StageSeconds []float64
-	ResultRows   int
-	TimedOut     bool
-	Err          error
+	// BatchesDecoded counts columnar kernel decodes; on a sidecar-carrying
+	// plan it equals the number of input partitions (decode-free exchanges
+	// and global pass).
+	BatchesDecoded int64
+	// AdaptivePartitions lists the partition counts adaptive exchanges
+	// chose, in execution order (empty when adaptivity is off).
+	AdaptivePartitions []int
+	ResultRows         int
+	TimedOut           bool
+	Err                error
 }
 
 // Seconds returns the runtime in seconds (for chart-style output).
@@ -213,6 +225,10 @@ func (c Config) fill(m *Measurement, res *core.Result) {
 	m.RowsShuffled = res.Metrics.RowsShuffled()
 	m.PeakDataBytes = res.Metrics.PeakBytes()
 	m.StagesExecuted = res.Metrics.StagesExecuted()
+	m.BatchesDecoded = res.Metrics.BatchesDecoded()
+	for _, d := range res.Metrics.AdaptiveDecisions() {
+		m.AdaptivePartitions = append(m.AdaptivePartitions, d.Chosen)
+	}
 	for _, st := range res.Metrics.StageTimes() {
 		m.StageSeconds = append(m.StageSeconds, st.Elapsed.Seconds())
 	}
@@ -252,6 +268,7 @@ func (c Config) run(spec Spec) Measurement {
 	ctx := cluster.NewContext(spec.Executors)
 	ctx.Simulate = true
 	ctx.TaskOverhead = time.Millisecond
+	ctx.TargetRowsPerPartition = spec.AdaptiveTarget
 	type outcome struct {
 		res *core.Result
 		err error

@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{"fig19", "Executors vs. memory — MusicBrainz complex queries (Figure 19)", runFig19},
 		{"ablation", "Algorithm ablation — extension algorithms on synthetic distributions (§7)", runAblation},
 		{"kernel", "Columnar dominance kernel vs boxed compare path — fixed synthetic workload", runKernel},
+		{"exchange", "Columnar data plane — batch sidecars across exchanges + adaptive partitioning", runExchange},
 	}
 }
 

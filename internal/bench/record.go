@@ -21,33 +21,45 @@ type Record struct {
 	StagesExecuted int64   `json:"stages_executed"`
 	// StageSeconds is the per-stage makespan breakdown in execution order.
 	StageSeconds []float64 `json:"stage_seconds,omitempty"`
-	ResultRows   int       `json:"result_rows"`
-	TimedOut     bool      `json:"timed_out"`
-	Error        string    `json:"error,omitempty"`
+	// BatchesDecoded counts columnar kernel decodes; equal to the input
+	// partition count on a fully sidecar-carrying (decode-free) plan.
+	BatchesDecoded int64 `json:"batches_decoded"`
+	// AdaptiveTargetRows is the rows-per-partition target of adaptive
+	// exchanges (0 = static executor-count partitioning).
+	AdaptiveTargetRows int `json:"adaptive_target_rows,omitempty"`
+	// AdaptivePartitions lists the partition counts adaptive exchanges
+	// chose, in execution order.
+	AdaptivePartitions []int  `json:"adaptive_partitions,omitempty"`
+	ResultRows         int    `json:"result_rows"`
+	TimedOut           bool   `json:"timed_out"`
+	Error              string `json:"error,omitempty"`
 }
 
 // NewRecord flattens a measurement into a record tagged with the
 // experiment it belongs to.
 func NewRecord(experiment string, m Measurement) Record {
 	r := Record{
-		Experiment:     experiment,
-		Dataset:        m.Spec.Dataset,
-		Complete:       m.Spec.Complete,
-		Algorithm:      m.Spec.Algorithm.Name,
-		Dimensions:     m.Spec.Dimensions,
-		Tuples:         m.Spec.Tuples,
-		Executors:      m.Spec.Executors,
-		ColumnarKernel: !m.Spec.NoKernel,
-		WallSeconds:    m.Seconds(),
-		DominanceTests: m.DominanceTests,
-		Comparisons:    m.Comparisons,
-		RowsShuffled:   m.RowsShuffled,
-		PeakBytes:      m.PeakDataBytes,
-		PeakModelMB:    m.PeakModelMB,
-		StagesExecuted: m.StagesExecuted,
-		StageSeconds:   m.StageSeconds,
-		ResultRows:     m.ResultRows,
-		TimedOut:       m.TimedOut,
+		Experiment:         experiment,
+		Dataset:            m.Spec.Dataset,
+		Complete:           m.Spec.Complete,
+		Algorithm:          m.Spec.Algorithm.Name,
+		Dimensions:         m.Spec.Dimensions,
+		Tuples:             m.Spec.Tuples,
+		Executors:          m.Spec.Executors,
+		ColumnarKernel:     !m.Spec.NoKernel,
+		WallSeconds:        m.Seconds(),
+		DominanceTests:     m.DominanceTests,
+		Comparisons:        m.Comparisons,
+		RowsShuffled:       m.RowsShuffled,
+		PeakBytes:          m.PeakDataBytes,
+		PeakModelMB:        m.PeakModelMB,
+		StagesExecuted:     m.StagesExecuted,
+		StageSeconds:       m.StageSeconds,
+		BatchesDecoded:     m.BatchesDecoded,
+		AdaptiveTargetRows: m.Spec.AdaptiveTarget,
+		AdaptivePartitions: m.AdaptivePartitions,
+		ResultRows:         m.ResultRows,
+		TimedOut:           m.TimedOut,
 	}
 	if m.Err != nil {
 		r.Error = m.Err.Error()

@@ -19,12 +19,56 @@ import (
 )
 
 // Dataset is a partitioned bag of rows, the engine's RDD stand-in.
+//
+// Rows are authoritative; Batches is an optional columnar sidecar. When
+// Batches is non-nil it has one slot per partition, and a non-nil
+// Batches[i] is an already-decoded skyline.Batch view of Parts[i], kept
+// index-aligned with the rows (batch point j wraps Parts[i][j]). The
+// sidecar lets decoded columns flow through exchanges — gather merges
+// batches, partition schemes re-bucket them by index arithmetic — so a
+// downstream skyline operator never re-decodes what an upstream one
+// already paid for. Transforms that change rows without producing a new
+// batch simply drop the sidecar.
 type Dataset struct {
-	Parts [][]types.Row
+	Parts   [][]types.Row
+	Batches []*skyline.Batch
 }
 
 // NewDataset creates a dataset from partitions.
 func NewDataset(parts ...[]types.Row) *Dataset { return &Dataset{Parts: parts} }
+
+// BatchAt returns the columnar sidecar of partition i, or nil when the
+// partition carries none.
+func (d *Dataset) BatchAt(i int) *skyline.Batch {
+	if d.Batches == nil || i >= len(d.Batches) {
+		return nil
+	}
+	return d.Batches[i]
+}
+
+// MergedSidecar concatenates the per-partition sidecars into one batch
+// aligned with Gather()'s row order. ok=false when any non-empty partition
+// lacks an aligned batch or the batches are not mergeable (different tags).
+func (d *Dataset) MergedSidecar() (*skyline.Batch, bool) {
+	if d.Batches == nil {
+		return nil, false
+	}
+	var batches []*skyline.Batch
+	for i, p := range d.Parts {
+		if len(p) == 0 {
+			continue
+		}
+		b := d.BatchAt(i)
+		if b == nil || b.Len() != len(p) {
+			return nil, false
+		}
+		batches = append(batches, b)
+	}
+	if len(batches) == 0 {
+		return nil, false
+	}
+	return skyline.MergeBatches(batches)
+}
 
 // NumRows returns the total row count across partitions.
 func (d *Dataset) NumRows() int {
@@ -64,10 +108,55 @@ type Metrics struct {
 
 	mu         sync.Mutex
 	stageTimes []StageTime
+	adaptive   []AdaptiveDecision
 
 	// Sky aggregates dominance-test counts across all skyline operators in
 	// the query.
 	Sky skyline.Stats
+}
+
+// AdaptiveDecision records one adaptive post-exchange partitioning choice:
+// the observed upstream row count, the static partition count the exchange
+// would have used (the executor count), and the count actually chosen from
+// the rows-per-partition target.
+type AdaptiveDecision struct {
+	Rows   int
+	Static int
+	Chosen int
+}
+
+// AddAdaptiveDecision appends one adaptive partitioning record, in
+// execution order.
+func (m *Metrics) AddAdaptiveDecision(d AdaptiveDecision) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.adaptive = append(m.adaptive, d)
+	m.mu.Unlock()
+}
+
+// AdaptiveDecisions returns a copy of the adaptive partitioning records.
+func (m *Metrics) AdaptiveDecisions() []AdaptiveDecision {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]AdaptiveDecision, len(m.adaptive))
+	copy(out, m.adaptive)
+	return out
+}
+
+// BatchesDecoded returns the number of columnar batches decoded during the
+// run. On a sidecar-carrying local→global skyline plan it equals the
+// number of input partitions: the global pass and the exchanges between
+// are decode-free.
+func (m *Metrics) BatchesDecoded() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.Sky.BatchesDecoded()
 }
 
 // StageTime is the makespan record of one executed stage (one scheduled
@@ -208,6 +297,15 @@ type Context struct {
 	// (Spark pays several milliseconds per task; the harness uses 1ms).
 	TaskOverhead time.Duration
 
+	// TargetRowsPerPartition, when positive, makes exchanges adaptive
+	// (AQE-style): the post-exchange partition count is picked from the
+	// observed upstream output size — ceil(rows/target), clamped to
+	// [1, Executors] — instead of the static executor count, so tiny
+	// intermediate results collapse into fewer tasks and the stage makespan
+	// stops paying per-task overhead for near-empty partitions. 0 (the
+	// default) keeps the static count. Decisions are recorded in Metrics.
+	TargetRowsPerPartition int
+
 	taskRealNanos atomic.Int64 // serial time actually spent inside tasks
 	taskSimNanos  atomic.Int64 // simulated makespan of those stages
 	canceled      atomic.Bool
@@ -247,15 +345,34 @@ func NewContext(executors int) *Context {
 // MapPartitions applies fn to each partition of in, running at most
 // Executors partitions concurrently, and returns the transformed dataset.
 // This is the engine's task-scheduling primitive: one partition = one task.
+// The transform produces new rows, so any columnar sidecar of in is
+// dropped; batch-aware transforms use MapPartitionsColumnar.
 func (c *Context) MapPartitions(in *Dataset, fn func(i int, part []types.Row) ([]types.Row, error)) (*Dataset, error) {
+	return c.MapPartitionsColumnar(in, func(i int, part []types.Row, _ *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
+		rows, err := fn(i, part)
+		return rows, nil, err
+	})
+}
+
+// ColumnarFn is the batch-aware per-partition transform: it receives the
+// partition's rows plus its columnar sidecar (nil when none is attached)
+// and may return a new sidecar index-aligned with its output rows (nil to
+// drop it).
+type ColumnarFn = func(i int, part []types.Row, b *skyline.Batch) ([]types.Row, *skyline.Batch, error)
+
+// MapPartitionsColumnar is MapPartitions for batch-aware transforms: the
+// columnar sidecar of each input partition is handed to fn, and sidecars
+// returned by fn are attached to the output dataset.
+func (c *Context) MapPartitionsColumnar(in *Dataset, fn ColumnarFn) (*Dataset, error) {
 	n := len(in.Parts)
-	out := make([][]types.Row, n)
 	if n == 0 {
 		return &Dataset{}, nil
 	}
+	out := make([][]types.Row, n)
+	batches := make([]*skyline.Batch, n)
 	c.Metrics.AddStage()
 	if c.Simulate {
-		return c.mapPartitionsSimulated(in, out, fn)
+		return c.mapPartitionsSimulated(in, out, batches, fn)
 	}
 	start := time.Now()
 	workers := c.Executors
@@ -280,12 +397,13 @@ func (c *Context) MapPartitions(in *Dataset, fn func(i int, part []types.Row) ([
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				res, err := fn(i, in.Parts[i])
+				res, b, err := fn(i, in.Parts[i], in.BatchAt(i))
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
 				out[i] = res
+				batches[i] = b
 			}
 		}()
 	}
@@ -294,13 +412,13 @@ func (c *Context) MapPartitions(in *Dataset, fn func(i int, part []types.Row) ([
 		return nil, err.(error)
 	}
 	c.Metrics.AddStageTime(n, time.Since(start))
-	return &Dataset{Parts: out}, nil
+	return newDatasetWithBatches(out, batches), nil
 }
 
 // mapPartitionsSimulated runs tasks serially, measures each, and advances
 // the simulated clock by the greedy makespan of scheduling them onto
 // Executors workers.
-func (c *Context) mapPartitionsSimulated(in *Dataset, out [][]types.Row, fn func(i int, part []types.Row) ([]types.Row, error)) (*Dataset, error) {
+func (c *Context) mapPartitionsSimulated(in *Dataset, out [][]types.Row, batches []*skyline.Batch, fn ColumnarFn) (*Dataset, error) {
 	durations := make([]time.Duration, len(in.Parts))
 	var serial time.Duration
 	for i, part := range in.Parts {
@@ -308,7 +426,7 @@ func (c *Context) mapPartitionsSimulated(in *Dataset, out [][]types.Row, fn func
 			return nil, err
 		}
 		start := time.Now()
-		res, err := fn(i, part)
+		res, b, err := fn(i, part, in.BatchAt(i))
 		if err != nil {
 			return nil, err
 		}
@@ -316,12 +434,45 @@ func (c *Context) mapPartitionsSimulated(in *Dataset, out [][]types.Row, fn func
 		durations[i] = d + c.TaskOverhead
 		serial += d
 		out[i] = res
+		batches[i] = b
 	}
 	makespan := Makespan(durations, c.Executors)
 	c.taskRealNanos.Add(int64(serial))
 	c.taskSimNanos.Add(int64(makespan))
 	c.Metrics.AddStageTime(len(in.Parts), makespan)
-	return &Dataset{Parts: out}, nil
+	return newDatasetWithBatches(out, batches), nil
+}
+
+// newDatasetWithBatches assembles a dataset, keeping the sidecar slice only
+// when some partition actually produced a batch.
+func newDatasetWithBatches(parts [][]types.Row, batches []*skyline.Batch) *Dataset {
+	d := &Dataset{Parts: parts}
+	for _, b := range batches {
+		if b != nil {
+			d.Batches = batches
+			break
+		}
+	}
+	return d
+}
+
+// partitionTarget picks the post-exchange partition count for rows rows:
+// the static executor count, or — when TargetRowsPerPartition is set — the
+// adaptive count derived from the observed size, recorded in Metrics.
+func (c *Context) partitionTarget(rows int) int {
+	static := c.Executors
+	if c.TargetRowsPerPartition <= 0 || rows == 0 {
+		return static
+	}
+	chosen := (rows + c.TargetRowsPerPartition - 1) / c.TargetRowsPerPartition
+	if chosen > static {
+		chosen = static
+	}
+	if chosen < 1 {
+		chosen = 1
+	}
+	c.Metrics.AddAdaptiveDecision(AdaptiveDecision{Rows: rows, Static: static, Chosen: chosen})
+	return chosen
 }
 
 // Makespan computes the completion time of scheduling tasks (in order)
@@ -401,15 +552,23 @@ func (d Distribution) String() string {
 type KeyFunc func(types.Row) (types.Row, error)
 
 // Exchange repartitions the dataset under the given distribution and
-// charges the shuffle to the metrics.
+// charges the shuffle to the metrics. An AllTuples gather preserves the
+// columnar sidecar: the per-partition batches are merged (intern ids
+// re-mapped, no re-decode) into one batch aligned with the gathered rows,
+// so the global skyline above the gather can run decode-free. The
+// row-redistributing distributions drop the sidecar.
 func (c *Context) Exchange(in *Dataset, dist Distribution, key KeyFunc) (*Dataset, error) {
 	c.Metrics.AddShuffled(int64(in.NumRows()))
 	switch dist {
 	case AllTuples:
-		return NewDataset(in.Gather()), nil
+		out := NewDataset(in.Gather())
+		if b, ok := in.MergedSidecar(); ok {
+			out.Batches = []*skyline.Batch{b}
+		}
+		return out, nil
 	case Unspecified:
 		rows := in.Gather()
-		return NewDataset(splitEven(rows, c.Executors)...), nil
+		return NewDataset(splitEven(rows, c.partitionTarget(len(rows)))...), nil
 	case NullBitmap:
 		if key == nil {
 			return nil, fmt.Errorf("cluster: NullBitmap exchange requires a key function")
@@ -438,14 +597,16 @@ func (c *Context) Exchange(in *Dataset, dist Distribution, key KeyFunc) (*Datase
 		if key == nil {
 			return nil, fmt.Errorf("cluster: Hash exchange requires a key function")
 		}
-		parts := make([][]types.Row, c.Executors)
-		for _, row := range in.Gather() {
+		rows := in.Gather()
+		n := c.partitionTarget(len(rows))
+		parts := make([][]types.Row, n)
+		for _, row := range rows {
 			k, err := key(row)
 			if err != nil {
 				return nil, err
 			}
 			h := hashRow(k)
-			i := int(h % uint64(c.Executors))
+			i := int(h % uint64(n))
 			parts[i] = append(parts[i], row)
 		}
 		return NewDataset(parts...), nil
@@ -453,23 +614,37 @@ func (c *Context) Exchange(in *Dataset, dist Distribution, key KeyFunc) (*Datase
 	return nil, fmt.Errorf("cluster: unknown distribution %v", dist)
 }
 
+// evenChunkBounds returns the [start, end) boundaries of splitting n items
+// into at most parts equal contiguous chunks (ceil-sized; no empty chunks).
+// It is the single source of truth for range partitioning, shared by
+// splitEven and the columnar Zorder exchange so both carve identical
+// partitions.
+func evenChunkBounds(n, parts int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	chunk := (n + parts - 1) / parts
+	out := make([][2]int, 0, parts)
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		out = append(out, [2]int{start, end})
+	}
+	return out
+}
+
 // splitEven splits rows into at most n equal contiguous chunks (never
 // returning empty chunks unless rows is empty).
 func splitEven(rows []types.Row, n int) [][]types.Row {
-	if len(rows) == 0 {
-		return nil
-	}
-	if n > len(rows) {
-		n = len(rows)
-	}
-	parts := make([][]types.Row, 0, n)
-	chunk := (len(rows) + n - 1) / n
-	for start := 0; start < len(rows); start += chunk {
-		end := start + chunk
-		if end > len(rows) {
-			end = len(rows)
-		}
-		parts = append(parts, rows[start:end])
+	bounds := evenChunkBounds(len(rows), n)
+	parts := make([][]types.Row, 0, len(bounds))
+	for _, b := range bounds {
+		parts = append(parts, rows[b[0]:b[1]])
 	}
 	return parts
 }

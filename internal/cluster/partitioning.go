@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"skysql/internal/skyline"
 	"skysql/internal/types"
 )
 
@@ -15,6 +16,20 @@ import (
 // values themselves rather than arbitrarily, which tends to make local
 // skylines more selective and shrinks the input of the non-parallelizable
 // global phase.
+//
+// Each scheme has two key paths. The boxed path (ExchangePartitioned)
+// extracts key rows one tuple at a time through a KeyFunc and converts
+// them to float64 per row. The columnar path (ExchangePartitionedColumnar)
+// buckets directly on a decoded skyline.Batch: the batch's numeric vectors
+// are already direction-normalized (MAX negated at decode), so the
+// per-dimension [0,1] rescaling needs no orientation flip and assigns
+// every tuple to exactly the same bucket as the boxed path — and because
+// the bucketed output partitions are carved out of the batch with
+// Batch.Select, they carry the decoded columns forward as a sidecar, so
+// the local skylines downstream of the exchange never re-decode. The
+// partition count itself is adaptive when Context.TargetRowsPerPartition
+// is set: it derives from the observed input size instead of the static
+// executor count.
 
 // Grid and Angle distributions (continuing the Distribution enum).
 const (
@@ -39,6 +54,19 @@ func (c *Context) ExchangePartitioned(in *Dataset, dist Distribution, key KeyFun
 	return c.exchangePartitioned(in, dist, key, minimize)
 }
 
+// chargeShuffleBuffer books the driver-side gather buffer of a partitioned
+// exchange in the metrics: the gathered rows are live concurrently with the
+// input dataset until the output partitions are assembled, and peak-bytes
+// accounting must see that. The returned func releases the charge.
+func (c *Context) chargeShuffleBuffer(rows []types.Row) func() {
+	var n int64
+	for _, r := range rows {
+		n += r.MemSize()
+	}
+	c.Metrics.Alloc(n)
+	return func() { c.Metrics.Free(n) }
+}
+
 // exchangePartitioned implements the Grid and Angle distributions; key
 // extracts the (numeric) skyline-dimension values, and dirs flags which
 // dimensions are minimized (true) vs maximized (false) so that values can
@@ -48,6 +76,8 @@ func (c *Context) exchangePartitioned(in *Dataset, dist Distribution, key KeyFun
 	if len(rows) == 0 {
 		return &Dataset{}, nil
 	}
+	release := c.chargeShuffleBuffer(rows)
+	defer release()
 	keys := make([][]float64, len(rows))
 	width := 0
 	for i, row := range rows {
@@ -100,25 +130,32 @@ func (c *Context) exchangePartitioned(in *Dataset, dist Distribution, key KeyFun
 		return out
 	}
 
-	parts := make([][]types.Row, c.Executors)
+	target := c.partitionTarget(len(rows))
+	if dist == Zorder {
+		zs := make([]uint64, len(rows))
+		for i := range rows {
+			zs[i] = zAddress(norm(keys[i]))
+		}
+		order := zorderedIndices(zs)
+		sorted := make([]types.Row, len(order))
+		for i, j := range order {
+			sorted[i] = rows[j]
+		}
+		return NewDataset(splitEven(sorted, target)...), nil
+	}
+	parts := make([][]types.Row, target)
 	for i, row := range rows {
 		nk := norm(keys[i])
 		var p int
 		switch dist {
 		case Grid:
-			p = gridCell(nk, c.Executors)
+			p = gridCell(nk, target)
 		case Angle:
-			p = angleBucket(nk, c.Executors)
-		case Zorder:
-			// Assigned below after the global Z-order is known.
-			continue
+			p = angleBucket(nk, target)
 		default:
 			return nil, fmt.Errorf("cluster: exchangePartitioned on %v", dist)
 		}
 		parts[p] = append(parts[p], row)
-	}
-	if dist == Zorder {
-		return zorderPartitions(rows, keys, norm, c.Executors), nil
 	}
 	// Drop empty partitions to avoid scheduling empty tasks.
 	var nonEmpty [][]types.Row
@@ -130,24 +167,128 @@ func (c *Context) exchangePartitioned(in *Dataset, dist Distribution, key KeyFun
 	return NewDataset(nonEmpty...), nil
 }
 
-// zorderPartitions sorts rows by their Z-address and splits the order into
-// contiguous ranges, one per executor. Tuples close in Z-order are close in
-// every dimension, so local skylines prune aggressively.
-func zorderPartitions(rows []types.Row, keys [][]float64, norm func([]float64) []float64, executors int) *Dataset {
-	type zrow struct {
-		z   uint64
-		row types.Row
+// ExchangePartitionedColumnar repartitions rows under Grid/Angle/Zorder by
+// bucketing directly on the decoded numeric columns of batch (which must be
+// index-aligned with rows and hold only MIN/MAX dimensions). Bucket
+// assignment is bit-identical to the boxed path: decode negated MAX values
+// exactly, so the raw key of every tuple is recovered bit-for-bit (another
+// exact negation) and normalized with the very same "(v-min)/span, flip
+// MAX" arithmetic the boxed path applies — same operations, same operands,
+// same rounding. Every output partition carries its Batch.Select slice as
+// a columnar sidecar, so downstream local skylines run decode-free.
+func (c *Context) ExchangePartitionedColumnar(rows []types.Row, batch *skyline.Batch, dist Distribution) (*Dataset, error) {
+	c.Metrics.AddShuffled(int64(len(rows)))
+	if len(rows) == 0 {
+		return &Dataset{}, nil
 	}
-	zs := make([]zrow, len(rows))
-	for i, row := range rows {
-		zs[i] = zrow{z: zAddress(norm(keys[i])), row: row}
+	if batch.Len() != len(rows) || batch.KeyDims() > 0 || batch.NumDims() == 0 {
+		return nil, fmt.Errorf("cluster: columnar %v exchange needs an aligned numeric-only batch", dist)
 	}
-	sort.Slice(zs, func(a, b int) bool { return zs[a].z < zs[b].z })
-	sorted := make([]types.Row, len(zs))
-	for i, zr := range zs {
-		sorted[i] = zr.row
+	release := c.chargeShuffleBuffer(rows)
+	defer release()
+	width := batch.NumDims()
+	// flip[d] marks MAX dimensions: their stored values are negated (an
+	// exact operation), so -v recovers the raw key and the boxed 1-v
+	// orientation flip is replayed after normalization.
+	flip := make([]bool, width)
+	nc := 0
+	for _, dir := range batch.Dirs() {
+		if dir == skyline.Diff {
+			continue
+		}
+		flip[nc] = dir == skyline.Max
+		nc++
 	}
-	return NewDataset(splitEven(sorted, executors)...)
+	mins := make([]float64, width)
+	maxs := make([]float64, width)
+	for d := 0; d < width; d++ {
+		mins[d], maxs[d] = math.Inf(1), math.Inf(-1)
+	}
+	for i := 0; i < batch.Len(); i++ {
+		for d, v := range batch.NumRow(i) {
+			if flip[d] {
+				v = -v
+			}
+			if v < mins[d] {
+				mins[d] = v
+			}
+			if v > maxs[d] {
+				maxs[d] = v
+			}
+		}
+	}
+	nk := make([]float64, width)
+	norm := func(i int) []float64 {
+		for d, v := range batch.NumRow(i) {
+			if flip[d] {
+				v = -v
+			}
+			span := maxs[d] - mins[d]
+			if span == 0 {
+				nk[d] = 0
+				continue
+			}
+			out := (v - mins[d]) / span
+			if flip[d] {
+				out = 1 - out
+			}
+			nk[d] = out
+		}
+		return nk
+	}
+
+	target := c.partitionTarget(len(rows))
+	var buckets [][]int
+	switch dist {
+	case Grid, Angle:
+		buckets = make([][]int, target)
+		for i := range rows {
+			var p int
+			if dist == Grid {
+				p = gridCell(norm(i), target)
+			} else {
+				p = angleBucket(norm(i), target)
+			}
+			buckets[p] = append(buckets[p], i)
+		}
+	case Zorder:
+		zs := make([]uint64, len(rows))
+		for i := range rows {
+			zs[i] = zAddress(norm(i))
+		}
+		order := zorderedIndices(zs)
+		for _, b := range evenChunkBounds(len(order), target) {
+			buckets = append(buckets, order[b[0]:b[1]])
+		}
+	default:
+		return nil, fmt.Errorf("cluster: ExchangePartitionedColumnar on %v", dist)
+	}
+
+	out := &Dataset{}
+	for _, idx := range buckets {
+		if len(idx) == 0 {
+			continue
+		}
+		part := make([]types.Row, len(idx))
+		for i, j := range idx {
+			part[i] = rows[j]
+		}
+		out.Parts = append(out.Parts, part)
+		out.Batches = append(out.Batches, batch.Select(idx))
+	}
+	return out, nil
+}
+
+// zorderedIndices returns row indices sorted by Z-address. The sort is
+// stable so the boxed and columnar paths (which compute identical
+// addresses) produce identical range partitions.
+func zorderedIndices(zs []uint64) []int {
+	order := make([]int, len(zs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return zs[order[a]] < zs[order[b]] })
+	return order
 }
 
 // zAddress interleaves the top bits of each normalized coordinate into a

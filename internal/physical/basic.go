@@ -7,6 +7,7 @@ import (
 	"skysql/internal/catalog"
 	"skysql/internal/cluster"
 	"skysql/internal/expr"
+	"skysql/internal/skyline"
 	"skysql/internal/types"
 )
 
@@ -317,7 +318,17 @@ type ExchangeExec struct {
 	// Minimize flags the orientation of each key for the Grid and Angle
 	// distributions (true = MIN dimension).
 	Minimize []bool
-	Child    Operator
+	// SkyDims, when set on a Grid/Angle/Zorder exchange, are the skyline
+	// dimensions behind Keys. They let the exchange bucket on decoded batch
+	// columns (reusing an incoming sidecar, or decoding each input
+	// partition once) instead of extracting boxed keys row by row — and the
+	// bucketed output partitions then carry their batch slices downstream.
+	SkyDims []BoundDim
+	// DisableKernel forces the boxed per-row KeyFunc path
+	// (Options.DisableColumnarKernel), which also stops sidecar flow
+	// through this exchange.
+	DisableKernel bool
+	Child         Operator
 }
 
 func (e *ExchangeExec) Schema() *types.Schema { return e.Child.Schema() }
@@ -351,6 +362,13 @@ func (e *ExchangeExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 	}
 	var out *cluster.Dataset
 	if e.Dist == cluster.Grid || e.Dist == cluster.Angle || e.Dist == cluster.Zorder {
+		if !e.DisableKernel && len(e.SkyDims) > 0 {
+			if cols, ok, cerr := e.executeColumnar(ctx, in); cerr != nil {
+				return nil, cerr
+			} else if ok {
+				return cols, nil
+			}
+		}
 		out, err = ctx.ExchangePartitioned(in, e.Dist, key, e.Minimize)
 	} else {
 		out, err = ctx.Exchange(in, e.Dist, key)
@@ -359,4 +377,72 @@ func (e *ExchangeExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// executeColumnar buckets the Grid/Angle/Zorder exchange on decoded batch
+// columns: input partitions already carrying a matching sidecar are reused
+// as-is, the rest are decoded once here (the same decode the local skyline
+// above would otherwise pay). ok=false falls back to the boxed per-row
+// KeyFunc path — taken when the data does not decode exactly or the clause
+// has DIFF dimensions (which the numeric bucketing schemes cannot serve
+// bit-identically to the boxed path).
+func (e *ExchangeExec) executeColumnar(ctx *cluster.Context, in *cluster.Dataset) (*cluster.Dataset, bool, error) {
+	var stats *skyline.Stats
+	if ctx.Metrics != nil {
+		stats = &ctx.Metrics.Sky
+	}
+	dirs := dirsOf(e.SkyDims)
+	for _, d := range dirs {
+		if d == skyline.Diff {
+			return nil, false, nil
+		}
+	}
+	tag := skyTag(e.SkyDims, false)
+	batches := make([]*skyline.Batch, len(in.Parts))
+	// Fresh decodes are counted only once the columnar path commits: a
+	// later partition refusing to decode abandons the whole path, and the
+	// boxed fallback (plus the local skyline's own decode attempts) must
+	// not see phantom decodes in BatchesDecoded.
+	fresh := 0
+	for i, part := range in.Parts {
+		if len(part) == 0 {
+			continue
+		}
+		if b := in.BatchAt(i); b != nil && b.Tag == tag && b.Len() == len(part) {
+			batches[i] = b
+			continue
+		}
+		pts, err := evalPoints(part, e.SkyDims)
+		if err != nil {
+			return nil, false, err
+		}
+		b, ok := skyline.DecodeBatch(pts, dirs, false, nil)
+		if !ok {
+			return nil, false, nil
+		}
+		b.Tag = tag
+		batches[i] = b
+		fresh++
+	}
+	var nonEmpty []*skyline.Batch
+	for _, b := range batches {
+		if b != nil {
+			nonEmpty = append(nonEmpty, b)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return &cluster.Dataset{}, true, nil
+	}
+	merged, ok := skyline.MergeBatches(nonEmpty)
+	if !ok {
+		return nil, false, nil
+	}
+	for ; fresh > 0; fresh-- {
+		stats.AddBatchDecoded()
+	}
+	out, err := ctx.ExchangePartitionedColumnar(in.Gather(), merged, e.Dist)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"skysql/internal/cluster"
 	"skysql/internal/expr"
+	"skysql/internal/skyline"
 	"skysql/internal/types"
 )
 
@@ -44,13 +45,15 @@ func (x *ExtremumFilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, er
 // (the global extremum needs all partitions), but its second pass is a
 // narrow filter, so the fused tail of the stage above runs inside that
 // same task round instead of costing an extra round and an intermediate
-// materialization. A nil tail reproduces Execute exactly.
+// materialization — columnar sidecars the tail emits (e.g. a fused local
+// skyline's surviving batch) are preserved on the output dataset. A nil
+// tail reproduces Execute exactly.
 //
 // Following the decode-once discipline of the columnar dominance kernel,
 // pass 1 caches the evaluated expression column per partition and pass 2
 // filters against the cache instead of re-evaluating E per row — each
 // tuple is decoded exactly once across both distributed passes.
-func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail PartitionFn) (*cluster.Dataset, error) {
+func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail ColumnarPartitionFn) (*cluster.Dataset, error) {
 	in, err := x.Child.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -129,7 +132,7 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail PartitionFn
 	}
 	// Pass 2: keep rows attaining the extremum, then apply the fused tail
 	// (if any) within the same task round.
-	out, err := ctx.MapPartitions(in, func(i int, part []types.Row) ([]types.Row, error) {
+	out, err := ctx.MapPartitionsColumnar(in, func(i int, part []types.Row, _ *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
 		var keep []types.Row
 		for ri, row := range part {
 			var v types.Value
@@ -139,7 +142,7 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail PartitionFn
 				var err error
 				v, err = x.E.Eval(row)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 			if v.IsNull() {
@@ -150,9 +153,9 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail PartitionFn
 			}
 		}
 		if tail != nil {
-			return tail(i, keep)
+			return tail(i, keep, nil)
 		}
-		return keep, nil
+		return keep, nil, nil
 	})
 	if err != nil {
 		return nil, err

@@ -334,7 +334,7 @@ func planSkyline(s *plan.SkylineOperator, opts Options) (Operator, error) {
 		for i, d := range dims {
 			minimize[i] = d.Dir == skyline.Min
 		}
-		parts := &ExchangeExec{Dist: dist, Keys: dimExprs, Minimize: minimize, Child: child}
+		parts := &ExchangeExec{Dist: dist, Keys: dimExprs, Minimize: minimize, SkyDims: dims, DisableKernel: noKernel, Child: child}
 		local := &LocalSkylineExec{Dims: dims, Distinct: s.Distinct, DisableKernel: noKernel, Child: parts}
 		gather := &ExchangeExec{Dist: cluster.AllTuples, Child: local}
 		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalBNL, DisableKernel: noKernel, Child: gather}, nil

@@ -61,6 +61,15 @@ func dirsOf(dims []BoundDim) []skyline.Dir {
 	return dirs
 }
 
+// skyTag is the sidecar signature of a skyline clause: the dimension
+// expressions, their directions, and the dominance definition. A batch is
+// only ever reused by an operator whose own tag matches, so a sidecar
+// decoded for one skyline clause can never serve a different one (e.g.
+// stacked skylines over different dimensions).
+func skyTag(dims []BoundDim, incomplete bool) string {
+	return fmt.Sprintf("%s|incomplete=%v", dimStrings(dims), incomplete)
+}
+
 func rowsOf(pts []skyline.Point) []types.Row {
 	rows := make([]types.Row, len(pts))
 	for i, p := range pts {
@@ -104,11 +113,27 @@ func (l *LocalSkylineExec) String() string {
 // into the enclosing stage.
 func (l *LocalSkylineExec) NarrowChild() Operator { return l.Child }
 
-// PartitionTransform returns the per-partition BNL closure. Each partition
-// is decoded once into a columnar batch (the dominance kernel); partitions
-// the kernel cannot represent exactly fall back to the boxed CompareFunc
-// path transparently.
+// PartitionTransform returns the per-partition BNL closure without sidecar
+// flow (NarrowOperator interface); the stage compiler and Execute use the
+// columnar variant below.
 func (l *LocalSkylineExec) PartitionTransform(ctx *cluster.Context) PartitionFn {
+	cfn := l.PartitionTransformColumnar(ctx)
+	return func(i int, part []types.Row) ([]types.Row, error) {
+		rows, _, err := cfn(i, part, nil)
+		return rows, err
+	}
+}
+
+// PartitionTransformColumnar implements ColumnarOperator. A partition
+// arriving with a matching batch sidecar (e.g. from a Grid/Angle/Zorder
+// exchange that bucketed on decoded columns) is processed without
+// re-evaluating or re-decoding anything; otherwise the partition is
+// decoded once here. Either way the surviving rows leave with their
+// Batch.Select sidecar attached, so the gather above and the global
+// skyline after it stay decode-free. Partitions the kernel cannot
+// represent exactly fall back to the boxed CompareFunc path transparently
+// (no sidecar emitted).
+func (l *LocalSkylineExec) PartitionTransformColumnar(ctx *cluster.Context) ColumnarPartitionFn {
 	cmp := skyline.Compare
 	if l.Incomplete {
 		cmp = skyline.CompareIncomplete
@@ -118,37 +143,50 @@ func (l *LocalSkylineExec) PartitionTransform(ctx *cluster.Context) PartitionFn 
 		stats = &ctx.Metrics.Sky
 	}
 	dirs := dirsOf(l.Dims)
-	return func(_ int, part []types.Row) ([]types.Row, error) {
-		pts, err := evalPoints(part, l.Dims)
-		if err != nil {
-			return nil, err
-		}
-		if !l.DisableKernel {
-			if b, ok := skyline.DecodeBatch(pts, dirs, l.Incomplete); ok {
-				var idx []int
-				var kerr error
-				if l.WindowCap > 0 {
-					idx, kerr = b.BNLBounded(l.Distinct, l.WindowCap)
-				} else {
-					idx = b.BNL(l.Distinct)
+	tag := skyTag(l.Dims, l.Incomplete)
+	return func(_ int, part []types.Row, in *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
+		var b *skyline.Batch
+		var pts []skyline.Point
+		if !l.DisableKernel && in != nil && in.Tag == tag && in.Len() == len(part) {
+			b = in
+		} else {
+			var err error
+			pts, err = evalPoints(part, l.Dims)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !l.DisableKernel {
+				if db, ok := skyline.DecodeBatch(pts, dirs, l.Incomplete, stats); ok {
+					db.Tag = tag
+					b = db
 				}
-				b.Flush(stats)
-				if kerr != nil {
-					return nil, kerr
-				}
-				return rowsOf(b.Points(idx)), nil
 			}
 		}
+		if b != nil {
+			var idx []int
+			var kerr error
+			if l.WindowCap > 0 {
+				idx, kerr = b.BNLBounded(l.Distinct, l.WindowCap)
+			} else {
+				idx = b.BNL(l.Distinct)
+			}
+			b.Flush(stats)
+			if kerr != nil {
+				return nil, nil, kerr
+			}
+			return rowsOf(b.Points(idx)), b.Select(idx), nil
+		}
 		var sky []skyline.Point
+		var err error
 		if l.WindowCap > 0 {
 			sky, err = skyline.BNLBounded(pts, dirs, l.Distinct, l.WindowCap, cmp, stats)
 		} else {
 			sky, err = skyline.BNL(pts, dirs, l.Distinct, cmp, stats)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return rowsOf(sky), nil
+		return rowsOf(sky), nil, nil
 	}
 }
 
@@ -157,7 +195,7 @@ func (l *LocalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, erro
 	if err != nil {
 		return nil, err
 	}
-	out, err := ctx.MapPartitions(in, l.PartitionTransform(ctx))
+	out, err := ctx.MapPartitionsColumnar(in, l.PartitionTransformColumnar(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -220,28 +258,57 @@ func (g *GlobalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, err
 	if err != nil {
 		return nil, err
 	}
-	rows := in.Gather()
-	pts, err := evalPoints(rows, g.Dims)
-	if err != nil {
-		return nil, err
-	}
 	var stats *skyline.Stats
 	if ctx.Metrics != nil {
 		stats = &ctx.Metrics.Sky
 	}
-	dirs := dirsOf(g.Dims)
+	incomplete := g.Algorithm == GlobalIncompleteFlags
+	var rows []types.Row // gathered lazily: the sidecar path never needs it
+	var pts []skyline.Point
+	var b *skyline.Batch
 	if !g.DisableKernel {
-		// Decode once, run the columnar kernel; unknown algorithms and
-		// non-decodable inputs fall through to the boxed path below.
-		if rows, ok, kerr := g.executeKernel(pts, dirs, stats); ok {
+		b = g.sidecarBatch(in, in.NumRows())
+	}
+	if b == nil {
+		// No reusable sidecar: evaluate the dimension vectors and decode
+		// once here. Non-decodable inputs fall through to the boxed path.
+		rows = in.Gather()
+		pts, err = evalPoints(rows, g.Dims)
+		if err != nil {
+			return nil, err
+		}
+		if !g.DisableKernel {
+			if db, ok := skyline.DecodeBatch(pts, dirsOf(g.Dims), incomplete, stats); ok {
+				db.Tag = skyTag(g.Dims, incomplete)
+				b = db
+			}
+		}
+	}
+	if b != nil {
+		// Columnar kernel over the (merged sidecar or freshly decoded)
+		// batch; ok=false only for unknown algorithms, which the boxed
+		// switch below reports.
+		if idx, ok, kerr := g.runKernel(b, stats); ok {
 			if kerr != nil {
 				return nil, kerr
 			}
-			out := cluster.NewDataset(rows)
+			out := cluster.NewDataset(rowsOf(b.Points(idx)))
+			out.Batches = []*skyline.Batch{b.Select(idx)}
 			charge(ctx, out, in)
 			return out, nil
 		}
 	}
+	if pts == nil {
+		// Sidecar present but the algorithm has no kernel twin: box up for
+		// the fallback switch.
+		if rows == nil {
+			rows = in.Gather()
+		}
+		if pts, err = evalPoints(rows, g.Dims); err != nil {
+			return nil, err
+		}
+	}
+	dirs := dirsOf(g.Dims)
 	var sky []skyline.Point
 	switch g.Algorithm {
 	case GlobalBNL:
@@ -267,16 +334,22 @@ func (g *GlobalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, err
 	return out, nil
 }
 
-// executeKernel runs the selected global algorithm on a decoded columnar
-// batch. ok=false means the input (or the algorithm) is not kernel-eligible
-// and the boxed path must run instead.
-func (g *GlobalSkylineExec) executeKernel(pts []skyline.Point, dirs []skyline.Dir, stats *skyline.Stats) (rows []types.Row, ok bool, err error) {
-	incomplete := g.Algorithm == GlobalIncompleteFlags
-	b, decoded := skyline.DecodeBatch(pts, dirs, incomplete)
-	if !decoded {
-		return nil, false, nil
+// sidecarBatch returns the merged columnar sidecar of the gathered input
+// when every non-empty partition carries one matching this operator's
+// dimension signature and dominance definition — the decode-free path of
+// the local→global hop. nil when the input has no (usable) sidecar.
+func (g *GlobalSkylineExec) sidecarBatch(in *cluster.Dataset, totalRows int) *skyline.Batch {
+	b, ok := in.MergedSidecar()
+	if !ok || b.Tag != skyTag(g.Dims, g.Algorithm == GlobalIncompleteFlags) || b.Len() != totalRows {
+		return nil
 	}
-	var idx []int
+	return b
+}
+
+// runKernel runs the selected global algorithm on a decoded columnar
+// batch. ok=false means the algorithm has no kernel twin and the boxed
+// path must run instead.
+func (g *GlobalSkylineExec) runKernel(b *skyline.Batch, stats *skyline.Stats) (idx []int, ok bool, err error) {
 	switch g.Algorithm {
 	case GlobalBNL:
 		if g.WindowCap > 0 {
@@ -294,8 +367,5 @@ func (g *GlobalSkylineExec) executeKernel(pts []skyline.Point, dirs []skyline.Di
 		return nil, false, nil
 	}
 	b.Flush(stats)
-	if err != nil {
-		return nil, true, err
-	}
-	return rowsOf(b.Points(idx)), true, nil
+	return idx, true, err
 }

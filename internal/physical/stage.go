@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"skysql/internal/cluster"
+	"skysql/internal/skyline"
 	"skysql/internal/types"
 )
 
@@ -22,6 +23,14 @@ import (
 // rows for that partition.
 type PartitionFn func(i int, part []types.Row) ([]types.Row, error)
 
+// ColumnarPartitionFn is the batch-aware per-partition transform: it
+// additionally receives the partition's columnar sidecar (nil when none)
+// and may emit a sidecar index-aligned with its output rows. The stage
+// compiler threads these sidecars through fused pipelines and across
+// exchanges, which is how a batch decoded by a local skyline reaches the
+// global skyline without a second decode.
+type ColumnarPartitionFn func(i int, part []types.Row, b *skyline.Batch) ([]types.Row, *skyline.Batch, error)
+
 // NarrowOperator is implemented by physical operators whose work is a pure
 // per-partition pass (Spark's narrow transformations). The stage compiler
 // fuses chains of them into one PipelineExec.
@@ -35,15 +44,26 @@ type NarrowOperator interface {
 	PartitionTransform(ctx *cluster.Context) PartitionFn
 }
 
+// ColumnarOperator is a NarrowOperator that participates in the columnar
+// data plane: its per-partition pass can consume an incoming batch sidecar
+// (skipping its own decode) and/or produce one for the operators and
+// exchanges above it.
+type ColumnarOperator interface {
+	NarrowOperator
+	// PartitionTransformColumnar is PartitionTransform with sidecar flow.
+	PartitionTransformColumnar(ctx *cluster.Context) ColumnarPartitionFn
+}
+
 // StageSource is implemented by pipeline breakers that can absorb the
 // fused tail of the stage above them into their own final per-partition
 // pass, saving one task round and one intermediate materialization.
 type StageSource interface {
 	Operator
 	// ExecuteFused executes the operator with tail applied to every output
-	// partition inside the operator's last MapPartitions round. A nil tail
-	// must behave exactly like Execute.
-	ExecuteFused(ctx *cluster.Context, tail PartitionFn) (*cluster.Dataset, error)
+	// partition inside the operator's last MapPartitions round (sidecars
+	// the tail emits are preserved on the output dataset). A nil tail must
+	// behave exactly like Execute.
+	ExecuteFused(ctx *cluster.Context, tail ColumnarPartitionFn) (*cluster.Dataset, error)
 }
 
 // PipelineExec is one fused stage: a maximal chain of narrow operators
@@ -72,22 +92,33 @@ func (p *PipelineExec) String() string {
 	return fmt.Sprintf("PipelineExec [%s]", strings.Join(names, " -> "))
 }
 
-// tailFn composes the fused chain into one per-partition closure.
-func (p *PipelineExec) tailFn(ctx *cluster.Context) PartitionFn {
-	fns := make([]PartitionFn, len(p.Ops))
+// tailFn composes the fused chain into one batch-aware per-partition
+// closure. Columnar operators pass the sidecar along; plain narrow
+// operators transform rows only, which invalidates index alignment, so the
+// sidecar is dropped at that link.
+func (p *PipelineExec) tailFn(ctx *cluster.Context) ColumnarPartitionFn {
+	fns := make([]ColumnarPartitionFn, len(p.Ops))
 	for i, op := range p.Ops {
-		fns[i] = op.PartitionTransform(ctx)
+		if c, ok := op.(ColumnarOperator); ok {
+			fns[i] = c.PartitionTransformColumnar(ctx)
+			continue
+		}
+		plain := op.PartitionTransform(ctx)
+		fns[i] = func(i int, part []types.Row, _ *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
+			rows, err := plain(i, part)
+			return rows, nil, err
+		}
 	}
-	return func(i int, part []types.Row) ([]types.Row, error) {
+	return func(i int, part []types.Row, b *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
 		cur := part
 		var err error
 		for _, fn := range fns {
-			cur, err = fn(i, cur)
+			cur, b, err = fn(i, cur, b)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
-		return cur, nil
+		return cur, b, nil
 	}
 }
 
@@ -102,7 +133,7 @@ func (p *PipelineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := ctx.MapPartitions(in, tail)
+	out, err := ctx.MapPartitionsColumnar(in, tail)
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +163,23 @@ func (l *LocalLimitExec) PartitionTransform(*cluster.Context) PartitionFn {
 			part = part[:l.N]
 		}
 		return part, nil
+	}
+}
+
+// PartitionTransformColumnar implements ColumnarOperator: truncation is a
+// prefix, so the sidecar survives as a Batch.Slice of the same prefix.
+func (l *LocalLimitExec) PartitionTransformColumnar(*cluster.Context) ColumnarPartitionFn {
+	return func(_ int, part []types.Row, b *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
+		if b != nil && b.Len() != len(part) {
+			b = nil // misaligned sidecar: rows stay authoritative
+		}
+		if int64(len(part)) > l.N {
+			part = part[:l.N]
+			if b != nil {
+				b = b.Slice(0, int(l.N))
+			}
+		}
+		return part, b, nil
 	}
 }
 

@@ -37,7 +37,16 @@ const maxExactInt = types.MaxExactFloatInt
 // Batch is a partition of points decoded for the columnar dominance kernel.
 type Batch struct {
 	pts        []Point
-	incomplete bool // dominance definition CompareDecoded implements
+	incomplete bool  // dominance definition CompareDecoded implements
+	dirs       []Dir // dimension directions the batch was decoded under
+
+	// Tag is an opaque caller-set signature of the decoded dimensions
+	// (expressions + directions + dominance definition). Operators receiving
+	// a batch through an exchange sidecar only reuse it when the tag matches
+	// their own, so a batch decoded for one skyline clause can never serve a
+	// different one. Slice/Select propagate it; MergeBatches requires equal
+	// tags.
+	Tag string
 
 	// num holds the MIN/MAX dimensions in clause order, row-major with
 	// stride numStride, direction-normalized: MAX values are negated so
@@ -58,6 +67,11 @@ type Batch struct {
 	// diffMask[k] is the null-bitmask bit of DIFF dimension k's original
 	// clause position.
 	diffMask []uint64
+	// diffIntern[k][id-1] is the intern key string behind equality id of
+	// DIFF dimension k (id 0, NULL, has no entry). It is the reverse of the
+	// decode-time intern map and lets MergeBatches re-map ids from different
+	// batches into one id space without re-decoding any Value.
+	diffIntern [][]string
 
 	// nulls[i] has bit d set iff dimension d of point i is NULL. It is
 	// allocated lazily on the first NULL seen, so fully complete batches
@@ -73,8 +87,10 @@ type Batch struct {
 // complete (incomplete=false) or incomplete (incomplete=true) dominance
 // definition. ok=false means the kernel cannot reproduce the boxed
 // semantics exactly for this data and the caller must use the boxed
-// CompareFunc path; nothing is partially decoded in that case.
-func DecodeBatch(points []Point, dirs []Dir, incomplete bool) (*Batch, bool) {
+// CompareFunc path; nothing is partially decoded in that case. Successful
+// decodes are counted on stats (may be nil), making decode-freeness of
+// downstream operators assertable.
+func DecodeBatch(points []Point, dirs []Dir, incomplete bool, stats *Stats) (*Batch, bool) {
 	if len(dirs) == 0 || len(dirs) > 64 {
 		return nil, false
 	}
@@ -94,6 +110,7 @@ func DecodeBatch(points []Point, dirs []Dir, incomplete bool) (*Batch, bool) {
 	b := &Batch{
 		pts:        points,
 		incomplete: incomplete,
+		dirs:       append([]Dir(nil), dirs...),
 		num:        make([]float64, nNum*len(points)),
 		numStride:  nNum,
 		keyStride:  nDiff,
@@ -118,6 +135,7 @@ func DecodeBatch(points []Point, dirs []Dir, incomplete bool) (*Batch, bool) {
 		return nil, false
 	}
 	b.anyNull = b.nulls != nil
+	stats.AddBatchDecoded()
 	return b, true
 }
 
@@ -193,6 +211,7 @@ func (b *Batch) decodeDiffColumn(points []Point, d, k int, bit uint64) bool {
 		return false
 	}
 	intern := make(map[string]uint32)
+	var rev []string // id-1 -> intern key, the reverse table MergeBatches re-maps through
 	var buf [9]byte
 	for i, p := range points {
 		v := p.Dims[d]
@@ -224,9 +243,11 @@ func (b *Batch) decodeDiffColumn(points []Point, d, k int, bit uint64) bool {
 		if !ok {
 			id = uint32(len(intern)) + 1 // 0 reserved for NULL
 			intern[key] = id
+			rev = append(rev, key)
 		}
 		b.keys[i*b.keyStride+k] = id
 	}
+	b.diffIntern = append(b.diffIntern, rev)
 	return true
 }
 

@@ -112,7 +112,7 @@ func BenchmarkDominanceBNLColumnar(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				batch, ok := DecodeBatch(pts, dirs, false)
+				batch, ok := DecodeBatch(pts, dirs, false, nil)
 				if !ok {
 					b.Fatal("decode failed")
 				}
@@ -128,7 +128,7 @@ func BenchmarkDominanceCompareDecoded(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	dirs := []Dir{Min, Max, Min, Max, Min, Max}
 	pts := genPoints(rng, 2, 6, 0)
-	batch, ok := DecodeBatch(pts, dirs, false)
+	batch, ok := DecodeBatch(pts, dirs, false, nil)
 	if !ok {
 		b.Fatal("decode failed")
 	}

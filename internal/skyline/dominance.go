@@ -72,6 +72,7 @@ type Point struct {
 type Stats struct {
 	dominanceTests atomic.Int64
 	comparisons    atomic.Int64
+	batchesDecoded atomic.Int64
 }
 
 // Counters is the batch-local, non-atomic accumulator threaded through the
@@ -138,6 +139,26 @@ func (s *Stats) Comparisons() int64 {
 		return 0
 	}
 	return s.comparisons.Load()
+}
+
+// AddBatchDecoded records one successful DecodeBatch. Decoding happens once
+// per partition (never in the O(n²) loop), so this counter is updated
+// atomically at the decode site rather than batched through Counters.
+func (s *Stats) AddBatchDecoded() {
+	if s != nil {
+		s.batchesDecoded.Add(1)
+	}
+}
+
+// BatchesDecoded returns the number of columnar batches decoded. On a plan
+// whose exchanges carry the columnar sidecar through to the global skyline,
+// it equals the number of input partitions — the assertable form of
+// "decode-free" downstream execution.
+func (s *Stats) BatchesDecoded() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.batchesDecoded.Load()
 }
 
 // Relation is the outcome of a dominance test between two points.

@@ -46,11 +46,24 @@ func entropyScore(dims types.Row, dirs []Dir) float64 {
 func SFS(points []Point, dirs []Dir, distinct bool, stats *Stats) ([]Point, error) {
 	var local Counters
 	defer stats.Merge(&local)
-	sorted := make([]Point, len(points))
-	copy(sorted, points)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return entropyScore(sorted[i].Dims, dirs) < entropyScore(sorted[j].Dims, dirs)
+	// Decode-once discipline (mirroring Batch.SFS, which sums the already
+	// decoded vectors): the monotone score column is computed once per
+	// point, not re-evaluated on every sort comparison.
+	scores := make([]float64, len(points))
+	for i := range points {
+		scores[i] = entropyScore(points[i].Dims, dirs)
+	}
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return scores[order[i]] < scores[order[j]]
 	})
+	sorted := make([]Point, len(points))
+	for i, j := range order {
+		sorted[i] = points[j]
+	}
 	window := make([]Point, 0, 16)
 	for _, t := range sorted {
 		dominated := false

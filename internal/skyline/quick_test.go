@@ -215,7 +215,7 @@ func (kernelPointSet) Generate(rng *rand.Rand, size int) reflect.Value {
 func TestQuickCompareDecodedMatchesBoxed(t *testing.T) {
 	for _, incomplete := range []bool{false, true} {
 		f := func(ps kernelPointSet) bool {
-			b, ok := DecodeBatch(ps.pts, kernelDirs, incomplete)
+			b, ok := DecodeBatch(ps.pts, kernelDirs, incomplete, nil)
 			if !ok {
 				t.Fatalf("DecodeBatch refused decodable data: %v", ps.pts)
 			}
@@ -266,7 +266,7 @@ func TestQuickBatchAlgorithmsMatchBoxed(t *testing.T) {
 	for _, distinct := range []bool{false, true} {
 		f := func(ps kernelPointSet) bool {
 			// Complete-definition algorithms.
-			cb, ok := DecodeBatch(ps.pts, kernelDirs, false)
+			cb, ok := DecodeBatch(ps.pts, kernelDirs, false, nil)
 			if !ok {
 				t.Fatal("DecodeBatch refused decodable data")
 			}
@@ -290,7 +290,7 @@ func TestQuickBatchAlgorithmsMatchBoxed(t *testing.T) {
 					func() ([]int, error) { return cb.BNLBounded(distinct, 4) }},
 			}
 			// Incomplete-definition algorithms on their own decoded batch.
-			ib, ok := DecodeBatch(ps.pts, kernelDirs, true)
+			ib, ok := DecodeBatch(ps.pts, kernelDirs, true, nil)
 			if !ok {
 				t.Fatal("DecodeBatch refused decodable data")
 			}
@@ -359,7 +359,7 @@ func TestQuickDenseWindowPathsMatchBoxed(t *testing.T) {
 		}
 		for _, distinct := range []bool{false, true} {
 			for _, incomplete := range []bool{false, true} {
-				b, ok := DecodeBatch(pts, dirs, incomplete)
+				b, ok := DecodeBatch(pts, dirs, incomplete, nil)
 				if !ok {
 					t.Fatal("DecodeBatch refused numeric data")
 				}
@@ -402,13 +402,13 @@ func TestDecodeBatchRefusals(t *testing.T) {
 		{"ragged point", []Point{mk(types.Int(1))}, []Dir{Min, Min}},
 	}
 	for _, c := range cases {
-		if _, ok := DecodeBatch(c.pts, c.dirs, false); ok {
+		if _, ok := DecodeBatch(c.pts, c.dirs, false, nil); ok {
 			t.Errorf("%s: DecodeBatch must refuse", c.name)
 		}
 	}
 	// Sanity: big ints are decodable for DIFF when the column has no floats.
 	pts := []Point{mk(types.Int(big)), mk(types.Int(big)), mk(types.Int(big + 1))}
-	b, ok := DecodeBatch(pts, []Dir{Diff}, false)
+	b, ok := DecodeBatch(pts, []Dir{Diff}, false, nil)
 	if !ok {
 		t.Fatal("all-int DIFF column with big values must decode")
 	}
@@ -421,7 +421,7 @@ func TestDecodeBatchRefusals(t *testing.T) {
 // locally and reach the shared Stats only via Flush.
 func TestBatchStatsFlush(t *testing.T) {
 	pts := []Point{pt(1, 1, 1, 1), pt(2, 2, 1, 2), pt(3, 3, 1, 3)}
-	b, ok := DecodeBatch(pts, kernelDirs, false)
+	b, ok := DecodeBatch(pts, kernelDirs, false, nil)
 	if !ok {
 		t.Fatal("decode failed")
 	}

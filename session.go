@@ -13,13 +13,14 @@ import (
 // execution configuration, and compiles SQL strings or DataFrame plans
 // into runnable queries.
 type Session struct {
-	engine    *core.Engine
-	executors int
-	strategy  SkylineStrategy
-	simulate  bool
-	windowCap int
-	noFusion  bool
-	noKernel  bool
+	engine       *core.Engine
+	executors    int
+	strategy     SkylineStrategy
+	simulate     bool
+	windowCap    int
+	noFusion     bool
+	noKernel     bool
+	adaptiveRows int
 }
 
 // Option configures a session.
@@ -73,11 +74,26 @@ func WithoutStageFusion() Option {
 
 // WithoutColumnarKernel disables the columnar dominance kernel: skyline
 // operators then run every dominance test through the boxed compare path
-// instead of decode-once float64 column batches. The default (kernel)
-// execution is result-identical; this switch exists for A/B ablation and
-// debugging, mirroring WithoutStageFusion.
+// instead of decode-once float64 column batches, and exchanges stop
+// carrying the decoded batches as sidecars. The default (kernel) execution
+// is result-identical; this switch exists for A/B ablation and debugging,
+// mirroring WithoutStageFusion.
 func WithoutColumnarKernel() Option {
 	return func(s *Session) { s.noKernel = true }
+}
+
+// WithAdaptiveExchange makes exchanges adaptive (AQE-style): the
+// post-exchange partition count is derived from the observed upstream
+// output size — ceil(rows/targetRows), clamped to the executor count —
+// instead of always fanning out to the static executor count, so tiny
+// intermediate results collapse into fewer tasks. targetRows <= 0 keeps
+// the static behaviour (the default).
+func WithAdaptiveExchange(targetRows int) Option {
+	return func(s *Session) {
+		if targetRows > 0 {
+			s.adaptiveRows = targetRows
+		}
+	}
 }
 
 // NewSession creates a session with an empty catalog.
@@ -192,6 +208,7 @@ func (s *Session) RewriteSkyline(query string, incomplete bool) (string, error) 
 func (s *Session) run(c *core.Compiled) (*core.Result, error) {
 	ctx := cluster.NewContext(s.executors)
 	ctx.Simulate = s.simulate
+	ctx.TargetRowsPerPartition = s.adaptiveRows
 	return s.engine.RunCtx(c, ctx)
 }
 

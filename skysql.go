@@ -37,10 +37,17 @@
 // Skyline dominance testing — the O(n²) innermost loop of every skyline
 // operator — runs on a columnar kernel: each partition is decoded once
 // into direction-normalized float64 vectors and every dominance test is
-// pure index arithmetic. Partitions with non-numeric or otherwise
-// non-decodable skyline dimensions fall back transparently to the boxed
-// compare path; WithoutColumnarKernel forces that path everywhere for A/B
-// ablation.
+// pure index arithmetic. The decoded batches are carried through the data
+// plane as per-partition dataset sidecars: local skylines emit their
+// surviving batch rows, exchanges merge or re-bucket them by index
+// arithmetic (the Grid/Angle/Zorder schemes bucket directly on the decoded
+// columns), and the global skyline runs off the merged batch — one decode
+// per input partition for the whole plan. Partitions with non-numeric or
+// otherwise non-decodable skyline dimensions fall back transparently to
+// the boxed compare path; WithoutColumnarKernel forces that path (and
+// row-only exchanges) everywhere for A/B ablation. Exchanges can also pick
+// their partition counts adaptively from observed intermediate sizes
+// (WithAdaptiveExchange), collapsing tiny results into fewer tasks.
 package skysql
 
 import (

@@ -472,3 +472,59 @@ func hotelInto(t testing.TB, sess *skysql.Session) {
 		t.Fatal(err)
 	}
 }
+
+func TestWithAdaptiveExchangeOption(t *testing.T) {
+	// Adaptive post-exchange partitioning must leave results untouched
+	// while collapsing the tiny hotels table into fewer tasks, and the
+	// decisions must be visible in the metrics.
+	q := "SELECT id, price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX"
+	static := hotelSession(t)
+	srows, err := static.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := skysql.NewSession(skysql.WithExecutors(3), skysql.WithAdaptiveExchange(6))
+	hotelInto(t, adaptive)
+	df, err := adaptive.SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arows, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, ag := rowsToStrings(srows), rowsToStrings(arows)
+	if strings.Join(sg, "|") != strings.Join(ag, "|") {
+		t.Fatalf("adaptive rows %v != static rows %v", ag, sg)
+	}
+	ds := df.Metrics().AdaptiveDecisions()
+	if len(ds) == 0 {
+		t.Fatal("adaptive run must record partitioning decisions")
+	}
+	for _, d := range ds {
+		if d.Chosen > d.Static {
+			t.Errorf("adaptive chose %d partitions over static %d", d.Chosen, d.Static)
+		}
+	}
+}
+
+func TestExplainReportsBatchesDecoded(t *testing.T) {
+	sess := hotelSession(t)
+	df, err := sess.SQL("SELECT * FROM hotels SKYLINE OF price MIN, user_rating MAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := df.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "batches decoded:") {
+		t.Errorf("explain after run must report batches decoded:\n%s", out)
+	}
+	if df.Metrics().BatchesDecoded() == 0 {
+		t.Error("kernel run must decode at least one batch")
+	}
+}
