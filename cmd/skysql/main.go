@@ -115,6 +115,7 @@ func execute(sess *skysql.Session, query string, explain, showStages bool) error
 				fmt.Print("stage makespans:\n" + s)
 			}
 			fmt.Printf("batches decoded: %d\n", m.BatchesDecoded())
+			fmt.Printf("vectorized batches: %d\n", m.VectorizedBatches())
 		}
 	}
 	return nil

@@ -334,6 +334,7 @@ func (df *DataFrame) Explain() (string, error) {
 			out += "== Stage Times (last run) ==\n" + breakdown
 		}
 		out += fmt.Sprintf("batches decoded: %d\n", df.metrics.BatchesDecoded())
+		out += fmt.Sprintf("vectorized batches: %d\n", df.metrics.VectorizedBatches())
 	}
 	return out, nil
 }

@@ -69,6 +69,10 @@ type Spec struct {
 	// boxed-path side of the kernel A/B ablation, which also disables the
 	// batch sidecars exchanges would otherwise carry).
 	NoKernel bool
+	// NoVector disables the vectorized expression engine for this run (the
+	// boxed-path side of the vectorization A/B ablation, which also stops
+	// fused stages decoding their batch at the scan).
+	NoVector bool
 	// AdaptiveTarget, when positive, enables adaptive post-exchange
 	// partitioning with this rows-per-partition target
 	// (cluster.Context.TargetRowsPerPartition).
@@ -96,6 +100,9 @@ type Measurement struct {
 	// plan it equals the number of input partitions (decode-free exchanges
 	// and global pass).
 	BatchesDecoded int64
+	// VectorizedBatches counts partition passes served by the vectorized
+	// expression engine (zero on boxed runs).
+	VectorizedBatches int64
 	// AdaptivePartitions lists the partition counts adaptive exchanges
 	// chose, in execution order (empty when adaptivity is off).
 	AdaptivePartitions []int
@@ -226,6 +233,7 @@ func (c Config) fill(m *Measurement, res *core.Result) {
 	m.PeakDataBytes = res.Metrics.PeakBytes()
 	m.StagesExecuted = res.Metrics.StagesExecuted()
 	m.BatchesDecoded = res.Metrics.BatchesDecoded()
+	m.VectorizedBatches = res.Metrics.VectorizedBatches()
 	for _, d := range res.Metrics.AdaptiveDecisions() {
 		m.AdaptivePartitions = append(m.AdaptivePartitions, d.Chosen)
 	}
@@ -255,10 +263,10 @@ func (c Config) run(spec Spec) Measurement {
 	}
 	engine := core.NewEngine(w.cat)
 	query := w.query
-	opts := physical.Options{Strategy: spec.Algorithm.Strategy, DisableColumnarKernel: spec.NoKernel}
+	opts := physical.Options{Strategy: spec.Algorithm.Strategy, DisableColumnarKernel: spec.NoKernel, DisableVectorizedExprs: spec.NoVector}
 	if spec.Algorithm.Reference {
 		query = w.refQuery
-		opts = physical.Options{DisableColumnarKernel: spec.NoKernel}
+		opts = physical.Options{DisableColumnarKernel: spec.NoKernel, DisableVectorizedExprs: spec.NoVector}
 	}
 	compiled, err := engine.CompileSQL(query, opts)
 	if err != nil {
@@ -269,6 +277,7 @@ func (c Config) run(spec Spec) Measurement {
 	ctx.Simulate = true
 	ctx.TaskOverhead = time.Millisecond
 	ctx.TargetRowsPerPartition = spec.AdaptiveTarget
+	ctx.DecodeAtScan = !spec.NoVector && !spec.NoKernel
 	type outcome struct {
 		res *core.Result
 		err error

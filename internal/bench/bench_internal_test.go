@@ -75,10 +75,10 @@ func TestIncompleteVariantUsesTwoAlgorithms(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Errorf("experiments = %d, want 20 (figs 3–19 + ablation + kernel + exchange)", len(exps))
+	if len(exps) != 21 {
+		t.Errorf("experiments = %d, want 21 (figs 3–19 + ablation + kernel + exchange + vectorized)", len(exps))
 	}
-	for _, want := range []string{"fig3", "fig7", "fig10", "fig16", "fig19", "ablation", "kernel", "exchange"} {
+	for _, want := range []string{"fig3", "fig7", "fig10", "fig16", "fig19", "ablation", "kernel", "exchange", "vectorized"} {
 		if _, err := ExperimentByID(want); err != nil {
 			t.Errorf("missing experiment %s: %v", want, err)
 		}

@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"ablation", "Algorithm ablation — extension algorithms on synthetic distributions (§7)", runAblation},
 		{"kernel", "Columnar dominance kernel vs boxed compare path — fixed synthetic workload", runKernel},
 		{"exchange", "Columnar data plane — batch sidecars across exchanges + adaptive partitioning", runExchange},
+		{"vectorized", "Vectorized expression engine — boxed vs vectorized filtered skyline plans", runVectorized},
 	}
 }
 

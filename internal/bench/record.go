@@ -24,6 +24,11 @@ type Record struct {
 	// BatchesDecoded counts columnar kernel decodes; equal to the input
 	// partition count on a fully sidecar-carrying (decode-free) plan.
 	BatchesDecoded int64 `json:"batches_decoded"`
+	// VectorizedExprs reports whether the vectorized expression engine was
+	// enabled for the run; VectorizedBatches counts the partition passes it
+	// actually served.
+	VectorizedExprs   bool  `json:"vectorized_exprs"`
+	VectorizedBatches int64 `json:"vectorized_batches"`
 	// AdaptiveTargetRows is the rows-per-partition target of adaptive
 	// exchanges (0 = static executor-count partitioning).
 	AdaptiveTargetRows int `json:"adaptive_target_rows,omitempty"`
@@ -56,6 +61,8 @@ func NewRecord(experiment string, m Measurement) Record {
 		StagesExecuted:     m.StagesExecuted,
 		StageSeconds:       m.StageSeconds,
 		BatchesDecoded:     m.BatchesDecoded,
+		VectorizedExprs:    !m.Spec.NoVector,
+		VectorizedBatches:  m.VectorizedBatches,
 		AdaptiveTargetRows: m.Spec.AdaptiveTarget,
 		AdaptivePartitions: m.AdaptivePartitions,
 		ResultRows:         m.ResultRows,

@@ -88,12 +88,21 @@ func (d *Dataset) Gather() []types.Row {
 	return out
 }
 
-// MemSize estimates the materialized size of the dataset in bytes.
+// MemSize estimates the materialized size of the dataset in bytes,
+// including the decoded buffers of any columnar sidecars — a dataset
+// carrying batches really is bigger than its boxed twin, and peak-bytes
+// accounting must see that (sliced sidecars count their view lengths, the
+// same convention sliced row partitions follow).
 func (d *Dataset) MemSize() int64 {
 	var n int64
 	for _, p := range d.Parts {
 		for _, r := range p {
 			n += r.MemSize()
+		}
+	}
+	for _, b := range d.Batches {
+		if b != nil {
+			n += b.MemSize()
 		}
 	}
 	return n
@@ -105,6 +114,7 @@ type Metrics struct {
 	curBytes     atomic.Int64
 	peakBytes    atomic.Int64
 	stages       atomic.Int64
+	vectorized   atomic.Int64
 
 	mu         sync.Mutex
 	stageTimes []StageTime
@@ -157,6 +167,26 @@ func (m *Metrics) BatchesDecoded() int64 {
 		return 0
 	}
 	return m.Sky.BatchesDecoded()
+}
+
+// AddVectorizedBatch records one partition whose filter/projection/
+// extremum expression pass ran on the vectorized engine instead of the
+// boxed row loop.
+func (m *Metrics) AddVectorizedBatch() {
+	if m != nil {
+		m.vectorized.Add(1)
+	}
+}
+
+// VectorizedBatches returns the number of partition passes served by the
+// vectorized expression engine. On a decode-at-scan plan with a
+// vectorizable filter it is at least the number of input partitions; zero
+// means every expression ran boxed.
+func (m *Metrics) VectorizedBatches() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.vectorized.Load()
 }
 
 // StageTime is the makespan record of one executed stage (one scheduled
@@ -297,6 +327,16 @@ type Context struct {
 	// (Spark pays several milliseconds per task; the harness uses 1ms).
 	TaskOverhead time.Duration
 
+	// DecodeAtScan lets fused stages decode their columnar batch at the
+	// stage source (one boxed pass over the scanned partition) instead of at
+	// the local skyline, so leading filters and projections run on the
+	// vectorized expression engine and the whole narrow chain is
+	// decode-once. Results are bit-identical either way; the gate exists
+	// because eager decoding evaluates the skyline dimensions on pre-filter
+	// rows, which a caller with very selective boxed-only filters may want
+	// to avoid (skysql.WithoutVectorizedExprs clears it).
+	DecodeAtScan bool
+
 	// TargetRowsPerPartition, when positive, makes exchanges adaptive
 	// (AQE-style): the post-exchange partition count is picked from the
 	// observed upstream output size — ceil(rows/target), clamped to
@@ -335,11 +375,12 @@ func (c *Context) CheckCanceled() error {
 }
 
 // NewContext creates a context with the given executor count (minimum 1).
+// Decode-at-scan is on by default; disable it for boxed-only A/B runs.
 func NewContext(executors int) *Context {
 	if executors < 1 {
 		executors = 1
 	}
-	return &Context{Executors: executors, Metrics: &Metrics{}}
+	return &Context{Executors: executors, Metrics: &Metrics{}, DecodeAtScan: true}
 }
 
 // MapPartitions applies fn to each partition of in, running at most

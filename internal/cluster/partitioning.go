@@ -134,7 +134,7 @@ func (c *Context) exchangePartitioned(in *Dataset, dist Distribution, key KeyFun
 	if dist == Zorder {
 		zs := make([]uint64, len(rows))
 		for i := range rows {
-			zs[i] = zAddress(norm(keys[i]))
+			zs[i] = skyline.ZAddress(norm(keys[i]))
 		}
 		order := zorderedIndices(zs)
 		sorted := make([]types.Row, len(order))
@@ -254,7 +254,7 @@ func (c *Context) ExchangePartitionedColumnar(rows []types.Row, batch *skyline.B
 	case Zorder:
 		zs := make([]uint64, len(rows))
 		for i := range rows {
-			zs[i] = zAddress(norm(i))
+			zs[i] = skyline.ZAddress(norm(i))
 		}
 		order := zorderedIndices(zs)
 		for _, b := range evenChunkBounds(len(order), target) {
@@ -289,29 +289,6 @@ func zorderedIndices(zs []uint64) []int {
 	}
 	sort.SliceStable(order, func(a, b int) bool { return zs[order[a]] < zs[order[b]] })
 	return order
-}
-
-// zAddress interleaves the top bits of each normalized coordinate into a
-// Morton code (the Z-address of [Lee et al. 2010]).
-func zAddress(k []float64) uint64 {
-	const bitsPerDim = 10
-	var z uint64
-	buckets := make([]uint64, len(k))
-	for d, v := range k {
-		b := uint64(v * float64(int(1)<<bitsPerDim))
-		if b >= 1<<bitsPerDim {
-			b = 1<<bitsPerDim - 1
-		}
-		buckets[d] = b
-	}
-	bit := 0
-	for level := bitsPerDim - 1; level >= 0 && bit < 64; level-- {
-		for d := 0; d < len(k) && bit < 64; d++ {
-			z = (z << 1) | ((buckets[d] >> uint(level)) & 1)
-			bit++
-		}
-	}
-	return z
 }
 
 // gridCell buckets each dimension into g equi-width cells (g chosen so the

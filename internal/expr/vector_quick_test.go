@@ -1,0 +1,303 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"skysql/internal/types"
+)
+
+// sliceSource is a test ColumnSource over plain dense columns.
+type sliceSource struct {
+	n     int
+	cols  map[int][]float64
+	nulls map[int][]bool
+}
+
+func (s *sliceSource) NumRows() int { return s.n }
+func (s *sliceSource) Column(ord int) ([]float64, []bool, bool) {
+	v, ok := s.cols[ord]
+	if !ok {
+		return nil, nil, false
+	}
+	return v, s.nulls[ord], true
+}
+
+// randColumns generates nCols random numeric columns (mixed int/float, with
+// NULLs) plus the row-wise view the boxed evaluator consumes.
+func randColumns(r *rand.Rand, n, nCols int) (*sliceSource, []types.Row, *types.Schema) {
+	src := &sliceSource{n: n, cols: map[int][]float64{}, nulls: map[int][]bool{}}
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = make(types.Row, nCols)
+	}
+	fields := make([]types.Field, nCols)
+	for c := 0; c < nCols; c++ {
+		isInt := r.Intn(2) == 0
+		kind := types.KindFloat
+		if isInt {
+			kind = types.KindInt
+		}
+		fields[c] = types.Field{Name: fmt.Sprintf("c%d", c), Type: kind, Nullable: true}
+		vals := make([]float64, n)
+		var nulls []bool
+		for i := 0; i < n; i++ {
+			if r.Intn(6) == 0 {
+				if nulls == nil {
+					nulls = make([]bool, n)
+				}
+				nulls[i] = true
+				rows[i][c] = types.Null
+				continue
+			}
+			if isInt {
+				v := int64(r.Intn(201) - 100)
+				vals[i] = float64(v)
+				rows[i][c] = types.Int(v)
+			} else {
+				v := math.Round(r.Float64()*2000-1000) / 8 // exact dyadic floats
+				vals[i] = v
+				rows[i][c] = types.Float(v)
+			}
+		}
+		src.cols[c] = vals
+		src.nulls[c] = nulls
+	}
+	return src, rows, types.NewSchema(fields...)
+}
+
+// randNumExpr generates a random numeric-class expression over nCols
+// columns.
+func randNumExpr(r *rand.Rand, nCols, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return NewLiteral(types.Int(int64(r.Intn(21) - 10)))
+		case 1:
+			return NewLiteral(types.Float(math.Round(r.Float64()*80-40) / 4))
+		case 2:
+			return NewLiteral(types.Null)
+		default:
+			c := r.Intn(nCols)
+			return NewBoundRef(c, fmt.Sprintf("c%d", c), types.KindNull, true)
+		}
+	}
+	if r.Intn(6) == 0 {
+		return NewNegate(randNumExpr(r, nCols, depth-1))
+	}
+	ops := []BinaryOp{OpAdd, OpSub, OpMul, OpDiv, OpMod}
+	return NewBinary(ops[r.Intn(len(ops))], randNumExpr(r, nCols, depth-1), randNumExpr(r, nCols, depth-1))
+}
+
+// randBoolExpr generates a random boolean-class expression (comparisons,
+// three-valued logic, NOT, IS NULL) over nCols columns.
+func randBoolExpr(r *rand.Rand, nCols, depth int) Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		cmps := []BinaryOp{OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq}
+		return NewBinary(cmps[r.Intn(len(cmps))], randNumExpr(r, nCols, 1), randNumExpr(r, nCols, 1))
+	}
+	switch r.Intn(5) {
+	case 0:
+		return NewNot(randBoolExpr(r, nCols, depth-1))
+	case 1:
+		return NewIsNull(randNumExpr(r, nCols, depth-1), r.Intn(2) == 0)
+	case 2:
+		return NewBinary(OpAnd, randBoolExpr(r, nCols, depth-1), randBoolExpr(r, nCols, depth-1))
+	case 3:
+		return NewBinary(OpOr, randBoolExpr(r, nCols, depth-1), randBoolExpr(r, nCols, depth-1))
+	default:
+		return NewLiteral(types.Bool(r.Intn(2) == 0))
+	}
+}
+
+// bindRefs resolves the generated BoundRefs against the schema so DataType
+// (which drives the integer exactness guard) matches the boxed kinds.
+func bindRefs(e Expr, schema *types.Schema) Expr {
+	return Transform(e, func(sub Expr) Expr {
+		if ref, ok := sub.(*BoundRef); ok {
+			f := schema.Fields[ref.Index]
+			return NewBoundRef(ref.Index, f.Name, f.Type, f.Nullable)
+		}
+		return sub
+	})
+}
+
+// TestVectorEvalMatchesBoxedNumeric is the core property: for random
+// numeric expressions over random columns (NULLs, mixed kinds, division
+// and modulo by zero), the vectorized result materializes to exactly the
+// boxed Eval values — same kinds, same floats, same NULLs.
+func TestVectorEvalMatchesBoxedNumeric(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		src, rows, schema := randColumns(r, 20, 3)
+		e := bindRefs(randNumExpr(r, 3, 3), schema)
+		if !CanVectorize(e, schema) {
+			t.Fatalf("trial %d: generated numeric expr must vectorize: %s", trial, e)
+		}
+		ve := NewVectorEvaluator(src)
+		vals, nulls, err := ve.EvalNumeric(e)
+		if err == ErrNotVectorized {
+			continue // runtime exactness refusal is always legal
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %s: %v", trial, e, err)
+		}
+		got := MaterializeNumeric(e.DataType(), vals, nulls)
+		for i, row := range rows {
+			want, err := e.Eval(row)
+			if err != nil {
+				t.Fatalf("trial %d: boxed eval %s: %v", trial, e, err)
+			}
+			if !sameValue(want, got[i]) {
+				t.Fatalf("trial %d: %s row %d: boxed %s (%v), vector %s (%v)",
+					trial, e, i, want, want.Kind(), got[i], got[i].Kind())
+			}
+		}
+		if ve.Bytes < 0 {
+			t.Errorf("trial %d: negative scratch byte count", trial)
+		}
+	}
+}
+
+// TestVectorPredicateMatchesBoxed asserts the selection bitmap of random
+// boolean expressions equals EvalPredicate row by row (NULL = false),
+// covering three-valued AND/OR, NOT, IS NULL, and NaN-free comparisons.
+func TestVectorPredicateMatchesBoxed(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 300; trial++ {
+		src, rows, schema := randColumns(r, 20, 3)
+		e := bindRefs(randBoolExpr(r, 3, 3), schema)
+		if !CanVectorize(e, schema) {
+			t.Fatalf("trial %d: generated boolean expr must vectorize: %s", trial, e)
+		}
+		ve := NewVectorEvaluator(src)
+		sel, err := ve.EvalPredicate(e)
+		if err == ErrNotVectorized {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %s: %v", trial, e, err)
+		}
+		for i, row := range rows {
+			want, err := EvalPredicate(e, row)
+			if err != nil {
+				t.Fatalf("trial %d: boxed predicate %s: %v", trial, e, err)
+			}
+			if sel[i] != want {
+				t.Fatalf("trial %d: %s row %d: boxed %v, vector %v", trial, e, i, want, sel[i])
+			}
+		}
+	}
+}
+
+// TestVectorCompareNaNOrder pins the boxed NaN total order in vectorized
+// comparisons: NaN equals NaN and sorts below every number.
+func TestVectorCompareNaNOrder(t *testing.T) {
+	nan := math.NaN()
+	src := &sliceSource{n: 3, cols: map[int][]float64{0: {nan, nan, 1}, 1: {nan, 5, nan}}, nulls: map[int][]bool{}}
+	schema := types.NewSchema(
+		types.Field{Name: "a", Type: types.KindFloat}, types.Field{Name: "b", Type: types.KindFloat})
+	rows := []types.Row{
+		{types.Float(nan), types.Float(nan)},
+		{types.Float(nan), types.Float(5)},
+		{types.Float(1), types.Float(nan)},
+	}
+	a := NewBoundRef(0, "a", types.KindFloat, false)
+	b := NewBoundRef(1, "b", types.KindFloat, false)
+	for _, op := range []BinaryOp{OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq} {
+		e := NewBinary(op, a, b)
+		sel, err := NewVectorEvaluator(src).EvalPredicate(e)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		for i, row := range rows {
+			want, err := EvalPredicate(e, row)
+			if err != nil {
+				t.Fatalf("%s boxed: %v", e, err)
+			}
+			if sel[i] != want {
+				t.Errorf("%s row %d: boxed %v, vector %v", e, i, want, sel[i])
+			}
+		}
+		if !CanVectorize(e, schema) {
+			t.Errorf("%s must vectorize", e)
+		}
+	}
+}
+
+// TestVectorIntOverflowRefused pins the runtime exactness guard: an
+// integer product leaving the float64-exact range must refuse (the boxed
+// path wraps int64 there), never silently round.
+func TestVectorIntOverflowRefused(t *testing.T) {
+	big := float64(int64(1) << 40)
+	src := &sliceSource{n: 2, cols: map[int][]float64{0: {big, 2}}, nulls: map[int][]bool{}}
+	a := NewBoundRef(0, "a", types.KindInt, false)
+	e := NewBinary(OpMul, a, a) // 2^80 overflows exactness at row 0
+	if _, _, err := NewVectorEvaluator(src).EvalNumeric(e); err != ErrNotVectorized {
+		t.Fatalf("overflowing int arithmetic must refuse, got %v", err)
+	}
+}
+
+// TestCanVectorizeRefusals pins the static probe's fallback rules: strings,
+// functions, CASE, IN, aggregates, big integer literals, and out-of-range
+// references are served by the boxed path.
+func TestCanVectorizeRefusals(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "n", Type: types.KindInt},
+		types.Field{Name: "s", Type: types.KindString})
+	num := NewBoundRef(0, "n", types.KindInt, false)
+	str := NewBoundRef(1, "s", types.KindString, false)
+	refuse := []Expr{
+		str,
+		NewBinary(OpEq, str, NewLiteral(types.Str("x"))),
+		NewLiteral(types.Int(types.MaxExactFloatInt + 1)),
+		NewBinary(OpAdd, num, NewLiteral(types.Int(types.MaxExactFloatInt+1))),
+		NewBoundRef(7, "oob", types.KindInt, false),
+		NewIn(num, []Expr{NewLiteral(types.Int(1))}, false),
+		NewCase([]When{{Cond: NewBinary(OpGt, num, NewLiteral(types.Int(0))), Result: num}}, num),
+		NewFunc("abs", num),
+		NewCountStar(),
+		NewBinary(OpAnd, num, num), // AND over numerics
+		NewBinary(OpLt, num, NewNot(NewLiteral(types.Bool(true)))), // comparison over booleans
+	}
+	for _, e := range refuse {
+		if CanVectorize(e, schema) {
+			t.Errorf("%s must refuse vectorization", e)
+		}
+	}
+	accept := []Expr{
+		num,
+		NewBinary(OpAdd, num, NewLiteral(types.Int(3))),
+		NewBinary(OpAnd, NewBinary(OpLt, num, NewLiteral(types.Int(5))), NewLiteral(types.Null)),
+		NewIsNull(num, true),
+		NewNegate(NewLiteral(types.Null)),
+	}
+	for _, e := range accept {
+		if !CanVectorize(e, schema) {
+			t.Errorf("%s must vectorize", e)
+		}
+	}
+}
+
+// sameValue compares boxed values exactly: same kind, same payload, NaN
+// equal to NaN, -0 distinct from +0 only when the bit patterns matter to
+// CompareValues (they do not, so bit equality via Float64bits is used for
+// floats except the NaN class).
+func sameValue(a, b types.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case types.KindNull:
+		return true
+	case types.KindFloat:
+		af, bf := a.AsFloat(), b.AsFloat()
+		if math.IsNaN(af) && math.IsNaN(bf) {
+			return true
+		}
+		return math.Float64bits(af) == math.Float64bits(bf)
+	}
+	return a.Equal(b)
+}

@@ -51,8 +51,14 @@ func (o *OneRowExec) Execute(*cluster.Context) (*cluster.Dataset, error) {
 
 // FilterExec keeps rows satisfying the predicate.
 type FilterExec struct {
-	Cond  expr.Expr
-	Child Operator
+	Cond expr.Expr
+	// DisableVector forces the boxed row-at-a-time predicate
+	// (Options.DisableVectorizedExprs). The columnar sidecar still survives
+	// the filter either way: the vectorized path reduces the selection
+	// bitmap with Batch.Filter, the boxed path tracks the kept indices and
+	// applies Batch.Select.
+	DisableVector bool
+	Child         Operator
 }
 
 func (f *FilterExec) Schema() *types.Schema { return f.Child.Schema() }
@@ -64,19 +70,66 @@ func (f *FilterExec) String() string        { return "FilterExec " + f.Cond.Stri
 func (f *FilterExec) NarrowChild() Operator { return f.Child }
 
 // PartitionTransform returns the filter's per-partition closure.
-func (f *FilterExec) PartitionTransform(*cluster.Context) PartitionFn {
-	return func(_ int, part []types.Row) ([]types.Row, error) {
+func (f *FilterExec) PartitionTransform(ctx *cluster.Context) PartitionFn {
+	cfn := f.PartitionTransformColumnar(ctx)
+	return func(i int, part []types.Row) ([]types.Row, error) {
+		rows, _, err := cfn(i, part, nil)
+		return rows, err
+	}
+}
+
+// PartitionTransformColumnar implements ColumnarOperator. With an aligned
+// sidecar and a vectorizable predicate the filter evaluates a selection
+// bitmap over the batch's dense columns — no boxed Eval per row — and both
+// the rows and the batch are reduced by the same selection, preserving the
+// boxed row order bit for bit. Non-vectorizable predicates (or runtime
+// refusals, expr.ErrNotVectorized) fall back to the boxed row loop but
+// still carry the sidecar forward via Batch.Select.
+func (f *FilterExec) PartitionTransformColumnar(ctx *cluster.Context) ColumnarPartitionFn {
+	canVec := !f.DisableVector && expr.CanVectorize(f.Cond, f.Child.Schema())
+	return func(_ int, part []types.Row, b *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
+		if b != nil && b.Len() != len(part) {
+			b = nil // misaligned sidecar: rows stay authoritative
+		}
+		if b != nil && canVec {
+			cols := newBatchColumns(b)
+			ve := expr.NewVectorEvaluator(cols)
+			sel, err := ve.EvalPredicate(f.Cond)
+			if err == nil {
+				release := chargeScratch(ctx, ve, cols)
+				ctx.Metrics.AddVectorizedBatch()
+				var keep []types.Row
+				for i, ok := range sel {
+					if ok {
+						keep = append(keep, part[i])
+					}
+				}
+				nb := b.Filter(sel)
+				release()
+				return keep, nb, nil
+			}
+			if err != expr.ErrNotVectorized {
+				return nil, nil, err
+			}
+		}
 		var keep []types.Row
-		for _, row := range part {
+		var idx []int
+		for i, row := range part {
 			ok, err := expr.EvalPredicate(f.Cond, row)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if ok {
 				keep = append(keep, row)
+				if b != nil {
+					idx = append(idx, i)
+				}
 			}
 		}
-		return keep, nil
+		if b == nil {
+			return keep, nil, nil
+		}
+		return keep, b.Select(idx), nil
 	}
 }
 
@@ -85,7 +138,7 @@ func (f *FilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := ctx.MapPartitions(in, f.PartitionTransform(ctx))
+	out, err := ctx.MapPartitionsColumnar(in, f.PartitionTransformColumnar(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -95,9 +148,14 @@ func (f *FilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 
 // ProjectExec evaluates projection expressions over each row.
 type ProjectExec struct {
-	Exprs  []expr.Expr
-	Child  Operator
-	schema *types.Schema
+	Exprs []expr.Expr
+	// DisableVector forces the boxed row-at-a-time evaluation of every
+	// output column (Options.DisableVectorizedExprs). Sidecar flow through
+	// the projection (rows re-wrapped, pass-through bindings re-keyed) is
+	// unaffected.
+	DisableVector bool
+	Child         Operator
+	schema        *types.Schema
 }
 
 // NewProjectExec creates a projection with a precomputed output schema.
@@ -114,22 +172,120 @@ func (p *ProjectExec) String() string        { return "ProjectExec [" + exprStri
 func (p *ProjectExec) NarrowChild() Operator { return p.Child }
 
 // PartitionTransform returns the projection's per-partition closure.
-func (p *ProjectExec) PartitionTransform(*cluster.Context) PartitionFn {
-	return func(_ int, part []types.Row) ([]types.Row, error) {
+func (p *ProjectExec) PartitionTransform(ctx *cluster.Context) PartitionFn {
+	cfn := p.PartitionTransformColumnar(ctx)
+	return func(i int, part []types.Row) ([]types.Row, error) {
+		rows, _, err := cfn(i, part, nil)
+		return rows, err
+	}
+}
+
+// PartitionTransformColumnar implements ColumnarOperator. With an aligned
+// sidecar the projection keeps the batch alive across the row transform:
+// the output rows replace the wrapped rows (Batch.WithRows), pass-through
+// column references re-key their bindings into the output ordinal space,
+// and computed numeric expressions evaluate on the vectorized engine —
+// their result columns are both materialized into the output rows (boxed
+// kinds preserved exactly) and appended to the batch for operators further
+// up the chain. Expressions the engine refuses evaluate boxed, column by
+// column, with identical results.
+func (p *ProjectExec) PartitionTransformColumnar(ctx *cluster.Context) ColumnarPartitionFn {
+	childSchema := p.Child.Schema()
+	canVec := make([]bool, len(p.Exprs))
+	passthrough := make([]int, len(p.Exprs)) // source ordinal, or -1
+	for j, e := range p.Exprs {
+		passthrough[j] = -1
+		if ref, ok := stripAlias(e).(*expr.BoundRef); ok {
+			passthrough[j] = ref.Index
+			continue
+		}
+		canVec[j] = !p.DisableVector && expr.CanVectorize(e, childSchema)
+	}
+	return func(_ int, part []types.Row, b *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
+		if b != nil && b.Len() != len(part) {
+			b = nil // misaligned sidecar: rows stay authoritative
+		}
+		if b == nil {
+			res := make([]types.Row, len(part))
+			for ri, row := range part {
+				nr := make(types.Row, len(p.Exprs))
+				for i, e := range p.Exprs {
+					v, err := e.Eval(row)
+					if err != nil {
+						return nil, nil, err
+					}
+					nr[i] = v
+				}
+				res[ri] = nr
+			}
+			return res, nil, nil
+		}
+		// Sidecar present: build the output column by column.
 		res := make([]types.Row, len(part))
-		for ri, row := range part {
-			nr := make(types.Row, len(p.Exprs))
-			for i, e := range p.Exprs {
+		for ri := range res {
+			res[ri] = make(types.Row, len(p.Exprs))
+		}
+		cols := newBatchColumns(b)
+		ve := expr.NewVectorEvaluator(cols)
+		ordMap := make(map[int]int)
+		type appended struct {
+			ord   int
+			vals  []float64
+			nulls []bool
+		}
+		var computed []appended
+		vectorized := false
+		for j, e := range p.Exprs {
+			if src := passthrough[j]; src >= 0 {
+				for ri, row := range part {
+					v, err := e.Eval(row)
+					if err != nil {
+						return nil, nil, err
+					}
+					res[ri][j] = v
+				}
+				ordMap[j] = src
+				continue
+			}
+			if canVec[j] && !isBoolExpr(e) {
+				vals, nulls, err := ve.EvalNumeric(e)
+				if err == nil {
+					vectorized = true
+					for ri, v := range expr.MaterializeNumeric(e.DataType(), vals, nulls) {
+						res[ri][j] = v
+					}
+					computed = append(computed, appended{ord: j, vals: vals, nulls: nulls})
+					continue
+				}
+				if err != expr.ErrNotVectorized {
+					return nil, nil, err
+				}
+			}
+			for ri, row := range part {
 				v, err := e.Eval(row)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
-				nr[i] = v
+				res[ri][j] = v
 			}
-			res[ri] = nr
 		}
-		return res, nil
+		nb := b.WithRows(res, ordMap)
+		for _, c := range computed {
+			nb.AppendComputedColumn(c.ord, c.vals, c.nulls)
+		}
+		if vectorized {
+			release := chargeScratch(ctx, ve, cols)
+			ctx.Metrics.AddVectorizedBatch()
+			release()
+		}
+		return res, nb, nil
 	}
+}
+
+// isBoolExpr reports whether a projection output is boolean-class (those
+// materialize boxed; only numeric results become batch columns).
+func isBoolExpr(e expr.Expr) bool {
+	return e.DataType() == types.KindBool
 }
 
 func (p *ProjectExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
@@ -137,7 +293,7 @@ func (p *ProjectExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := ctx.MapPartitions(in, p.PartitionTransform(ctx))
+	out, err := ctx.MapPartitionsColumnar(in, p.PartitionTransformColumnar(ctx))
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,10 @@ import (
 type ExtremumFilterExec struct {
 	E   expr.Expr
 	Max bool
+	// DisableVector forces the boxed row-at-a-time expression evaluation in
+	// both passes even when a partition arrives with a columnar sidecar
+	// whose dense columns could serve E (Options.DisableVectorizedExprs).
+	DisableVector bool
 	// DisableKernel turns off the decode-once column cache: with it set,
 	// the second pass re-evaluates E per row, the pre-kernel behaviour
 	// (Options.DisableColumnarKernel).
@@ -45,19 +49,23 @@ func (x *ExtremumFilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, er
 // (the global extremum needs all partitions), but its second pass is a
 // narrow filter, so the fused tail of the stage above runs inside that
 // same task round instead of costing an extra round and an intermediate
-// materialization — columnar sidecars the tail emits (e.g. a fused local
-// skyline's surviving batch) are preserved on the output dataset. A nil
-// tail reproduces Execute exactly.
+// materialization — and the kept slice of an incoming columnar sidecar is
+// threaded through to the tail, so a fused chain above stays columnar. A
+// nil tail reproduces Execute exactly.
 //
 // Following the decode-once discipline of the columnar dominance kernel,
 // pass 1 caches the evaluated expression column per partition and pass 2
 // filters against the cache instead of re-evaluating E per row — each
-// tuple is decoded exactly once across both distributed passes.
+// tuple is decoded exactly once across both distributed passes. Partitions
+// arriving with a columnar sidecar whose dense columns can serve E
+// evaluate the column on the vectorized expression engine instead of the
+// boxed row loop (bit-identical values; refusals fall back per partition).
 func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail ColumnarPartitionFn) (*cluster.Dataset, error) {
 	in, err := x.Child.Execute(ctx)
 	if err != nil {
 		return nil, err
 	}
+	canVec := !x.DisableVector && !x.DisableKernel && expr.CanVectorize(x.E, x.Child.Schema())
 	// Pass 1: per-partition extrema, merged into the global extremum.
 	var (
 		mu   sync.Mutex
@@ -69,7 +77,44 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail ColumnarPar
 	if !x.DisableKernel {
 		cols = make([][]types.Value, len(in.Parts))
 	}
-	if _, err := ctx.MapPartitions(in, func(pi int, part []types.Row) ([]types.Row, error) {
+	merge := func(localBest types.Value, localSeen bool) {
+		if !localSeen {
+			return
+		}
+		mu.Lock()
+		if !seen {
+			best, seen = localBest, true
+		} else if c, ok := types.CompareValues(localBest, best); ok && ((x.Max && c > 0) || (!x.Max && c < 0)) {
+			best = localBest
+		}
+		mu.Unlock()
+	}
+	if _, err := ctx.MapPartitionsColumnar(in, func(pi int, part []types.Row, b *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
+		if canVec && b != nil && b.Len() == len(part) {
+			if col, ok, err := x.vectorPass1(ctx, b); err != nil {
+				return nil, nil, err
+			} else if ok {
+				if cols != nil {
+					cols[pi] = col
+					cacheBytes.Add(int64(len(col)) * 40)
+				}
+				localBest, localSeen := types.Null, false
+				for _, v := range col {
+					if v.IsNull() {
+						continue
+					}
+					if !localSeen {
+						localBest, localSeen = v, true
+						continue
+					}
+					if c, ok := types.CompareValues(v, localBest); ok && ((x.Max && c > 0) || (!x.Max && c < 0)) {
+						localBest = v
+					}
+				}
+				merge(localBest, localSeen)
+				return nil, nil, nil
+			}
+		}
 		var col []types.Value
 		var colBytes int64
 		if cols != nil {
@@ -80,7 +125,7 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail ColumnarPar
 		for ri, row := range part {
 			v, err := x.E.Eval(row)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if col != nil {
 				col[ri] = v
@@ -95,7 +140,7 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail ColumnarPar
 			}
 			c, ok := types.CompareValues(v, localBest)
 			if !ok {
-				return nil, fmt.Errorf("physical: extremum over incomparable kinds")
+				return nil, nil, fmt.Errorf("physical: extremum over incomparable kinds")
 			}
 			if (x.Max && c > 0) || (!x.Max && c < 0) {
 				localBest = v
@@ -105,16 +150,8 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail ColumnarPar
 			cols[pi] = col // tasks write disjoint slots; no lock needed
 			cacheBytes.Add(colBytes)
 		}
-		if localSeen {
-			mu.Lock()
-			if !seen {
-				best, seen = localBest, true
-			} else if c, ok := types.CompareValues(localBest, best); ok && ((x.Max && c > 0) || (!x.Max && c < 0)) {
-				best = localBest
-			}
-			mu.Unlock()
-		}
-		return nil, nil
+		merge(localBest, localSeen)
+		return nil, nil, nil
 	}); err != nil {
 		return nil, err
 	}
@@ -131,9 +168,14 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail ColumnarPar
 		return out, nil
 	}
 	// Pass 2: keep rows attaining the extremum, then apply the fused tail
-	// (if any) within the same task round.
-	out, err := ctx.MapPartitionsColumnar(in, func(i int, part []types.Row, _ *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
+	// (if any) within the same task round; an aligned sidecar follows the
+	// kept indices into the tail.
+	out, err := ctx.MapPartitionsColumnar(in, func(i int, part []types.Row, b *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
+		if b != nil && b.Len() != len(part) {
+			b = nil
+		}
 		var keep []types.Row
+		var idx []int
 		for ri, row := range part {
 			var v types.Value
 			if cols != nil {
@@ -150,16 +192,42 @@ func (x *ExtremumFilterExec) ExecuteFused(ctx *cluster.Context, tail ColumnarPar
 			}
 			if c, ok := types.CompareValues(v, best); ok && c == 0 {
 				keep = append(keep, row)
+				if b != nil {
+					idx = append(idx, ri)
+				}
 			}
 		}
-		if tail != nil {
-			return tail(i, keep, nil)
+		if b != nil {
+			b = b.Select(idx)
 		}
-		return keep, nil, nil
+		if tail != nil {
+			return tail(i, keep, b)
+		}
+		return keep, b, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	charge(ctx, out, in)
 	return out, nil
+}
+
+// vectorPass1 evaluates E over the partition's sidecar on the vectorized
+// engine, materializing the boxed column pass 2 filters against. ok=false
+// (runtime refusal) leaves the partition to the boxed loop.
+func (x *ExtremumFilterExec) vectorPass1(ctx *cluster.Context, b *skyline.Batch) ([]types.Value, bool, error) {
+	cols := newBatchColumns(b)
+	ve := expr.NewVectorEvaluator(cols)
+	vals, nulls, err := ve.EvalNumeric(x.E)
+	if err == expr.ErrNotVectorized {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	release := chargeScratch(ctx, ve, cols)
+	ctx.Metrics.AddVectorizedBatch()
+	col := expr.MaterializeNumeric(x.E.DataType(), vals, nulls)
+	release()
+	return col, true, nil
 }

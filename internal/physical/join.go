@@ -6,6 +6,7 @@ import (
 	"skysql/internal/cluster"
 	"skysql/internal/expr"
 	"skysql/internal/plan"
+	"skysql/internal/skyline"
 	"skysql/internal/types"
 )
 
@@ -54,6 +55,18 @@ func evalKeys(keys []expr.Expr, row types.Row) (string, bool, error) {
 }
 
 func (h *HashJoinExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	return h.ExecuteFused(ctx, nil)
+}
+
+// ExecuteFused implements StageSource: the join is a pipeline breaker (the
+// build side must be complete before any probe), but the probe itself is a
+// narrow per-partition pass over the left input, so the fused tail of the
+// stage above runs inside the probe's task round — a filter or projection
+// over the join output costs no extra round and no intermediate
+// materialization, the same trick ExtremumFilterExec plays with its second
+// pass. Probe output rows are freshly combined, so no sidecar reaches the
+// tail. A nil tail reproduces the plain probe exactly.
+func (h *HashJoinExec) ExecuteFused(ctx *cluster.Context, tail ColumnarPartitionFn) (*cluster.Dataset, error) {
 	left, err := h.Left.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -76,13 +89,13 @@ func (h *HashJoinExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 		}
 	}
 	rightWidth := h.Right.Schema().Len()
-	out, err := ctx.MapPartitions(left, func(_ int, part []types.Row) ([]types.Row, error) {
+	out, err := ctx.MapPartitionsColumnar(left, func(i int, part []types.Row, _ *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
 		var res []types.Row
 		for _, lrow := range part {
 			k, ok, err := evalKeys(h.LeftKeys, lrow)
 			matched := false
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if ok {
 				for _, rrow := range build[k] {
@@ -90,7 +103,7 @@ func (h *HashJoinExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 					if h.Residual != nil {
 						pass, err := expr.EvalPredicate(h.Residual, combined)
 						if err != nil {
-							return nil, err
+							return nil, nil, err
 						}
 						if !pass {
 							continue
@@ -105,7 +118,10 @@ func (h *HashJoinExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 				res = append(res, combined)
 			}
 		}
-		return res, nil
+		if tail != nil {
+			return tail(i, res, nil)
+		}
+		return res, nil, nil
 	})
 	if err != nil {
 		return nil, err

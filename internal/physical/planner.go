@@ -94,6 +94,16 @@ type Options struct {
 	// pass). Result-identical; kept selectable for A/B ablation, mirroring
 	// DisableStageFusion.
 	DisableColumnarKernel bool
+	// DisableVectorizedExprs turns off the vectorized expression engine:
+	// filters, projections, and the extremum passes then evaluate boxed,
+	// row at a time, even when a partition carries a columnar sidecar.
+	// Result-identical; kept selectable for A/B ablation
+	// (skysql.WithoutVectorizedExprs also clears Context.DecodeAtScan).
+	DisableVectorizedExprs bool
+	// SFSZorderPresort switches the SFS strategy's presort from the entropy
+	// score to the Z-order space-filling curve (same skyline, different
+	// processing order; ablated in skybench).
+	SFSZorderPresort bool
 }
 
 // Plan lowers a resolved (and optionally optimized) logical plan into a
@@ -127,13 +137,15 @@ func lower(n plan.Node, opts Options) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return NewProjectExec(p.Exprs, p.Schema(), child), nil
+		proj := NewProjectExec(p.Exprs, p.Schema(), child)
+		proj.DisableVector = opts.DisableVectorizedExprs
+		return proj, nil
 	case *plan.Filter:
 		child, err := lower(p.Child, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &FilterExec{Cond: p.Cond, Child: child}, nil
+		return &FilterExec{Cond: p.Cond, DisableVector: opts.DisableVectorizedExprs, Child: child}, nil
 	case *plan.Aggregate:
 		child, err := lower(p.Child, opts)
 		if err != nil {
@@ -167,7 +179,7 @@ func lower(n plan.Node, opts Options) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ExtremumFilterExec{E: p.E, Max: p.Max, DisableKernel: opts.DisableColumnarKernel, Child: child}, nil
+		return &ExtremumFilterExec{E: p.E, Max: p.Max, DisableKernel: opts.DisableColumnarKernel, DisableVector: opts.DisableVectorizedExprs, Child: child}, nil
 	case *plan.Join:
 		return planJoin(p, opts)
 	case *plan.SkylineOperator:
@@ -318,7 +330,7 @@ func planSkyline(s *plan.SkylineOperator, opts Options) (Operator, error) {
 		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalIncompleteFlags, DisableKernel: noKernel, Child: gather}, nil
 	case SkylineSFS:
 		gather := &ExchangeExec{Dist: cluster.AllTuples, Child: child}
-		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalSFS, DisableKernel: noKernel, Child: gather}, nil
+		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalSFS, ZorderPresort: opts.SFSZorderPresort, DisableKernel: noKernel, Child: gather}, nil
 	case SkylineDivideAndConquer:
 		gather := &ExchangeExec{Dist: cluster.AllTuples, Child: child}
 		return &GlobalSkylineExec{Dims: dims, Distinct: s.Distinct, Algorithm: GlobalDivideAndConquer, DisableKernel: noKernel, Child: gather}, nil

@@ -158,6 +158,7 @@ func (l *LocalSkylineExec) PartitionTransformColumnar(ctx *cluster.Context) Colu
 			if !l.DisableKernel {
 				if db, ok := skyline.DecodeBatch(pts, dirs, l.Incomplete, stats); ok {
 					db.Tag = tag
+					bindDimColumns(db, l.Dims)
 					b = db
 				}
 			}
@@ -174,7 +175,13 @@ func (l *LocalSkylineExec) PartitionTransformColumnar(ctx *cluster.Context) Colu
 			if kerr != nil {
 				return nil, nil, kerr
 			}
-			return rowsOf(b.Points(idx)), b.Select(idx), nil
+			// Emit from the authoritative partition rows (identical to the
+			// batch's wrapped rows by the alignment invariant, but robust).
+			keep := make([]types.Row, len(idx))
+			for i, j := range idx {
+				keep[i] = part[j]
+			}
+			return keep, b.Select(idx), nil
 		}
 		var sky []skyline.Point
 		var err error
@@ -215,6 +222,10 @@ type GlobalSkylineExec struct {
 	// WindowCap bounds the BNL window of the GlobalBNL algorithm; 0 means
 	// unbounded. Other global algorithms ignore it.
 	WindowCap int
+	// ZorderPresort switches the GlobalSFS algorithm from the entropy-score
+	// presort to the Z-order space-filling-curve presort
+	// (Options.SFSZorderPresort); other algorithms ignore it.
+	ZorderPresort bool
 	// DisableKernel forces the boxed CompareFunc path even when the input
 	// decodes into a columnar batch (Options.DisableColumnarKernel).
 	DisableKernel bool
@@ -320,7 +331,11 @@ func (g *GlobalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, err
 	case GlobalIncompleteFlags:
 		sky, err = skyline.GlobalIncomplete(pts, dirs, g.Distinct, stats)
 	case GlobalSFS:
-		sky, err = skyline.SFS(pts, dirs, g.Distinct, stats)
+		if g.ZorderPresort {
+			sky, err = skyline.SFSZorder(pts, dirs, g.Distinct, stats)
+		} else {
+			sky, err = skyline.SFS(pts, dirs, g.Distinct, stats)
+		}
 	case GlobalDivideAndConquer:
 		sky, err = skyline.DivideAndConquer(pts, dirs, g.Distinct, stats)
 	default:
@@ -360,7 +375,11 @@ func (g *GlobalSkylineExec) runKernel(b *skyline.Batch, stats *skyline.Stats) (i
 	case GlobalIncompleteFlags:
 		idx = b.GlobalIncomplete(g.Distinct)
 	case GlobalSFS:
-		idx = b.SFS(g.Distinct)
+		if g.ZorderPresort {
+			idx = b.SFSZorder(g.Distinct)
+		} else {
+			idx = b.SFS(g.Distinct)
+		}
 	case GlobalDivideAndConquer:
 		idx = b.DivideAndConquer(g.Distinct)
 	default:

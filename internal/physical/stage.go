@@ -96,6 +96,14 @@ func (p *PipelineExec) String() string {
 // closure. Columnar operators pass the sidecar along; plain narrow
 // operators transform rows only, which invalidates index alignment, so the
 // sidecar is dropped at that link.
+//
+// When the chain contains a local skyline reachable through filters/
+// projections/limits and the context allows it (Context.DecodeAtScan), the
+// closure additionally decodes each incoming partition ONCE at the stage
+// entry — the same evaluation the skyline would pay later, moved below the
+// filters — so the intervening operators run on the vectorized expression
+// engine and the skyline reuses the batch by tag: the whole narrow chain is
+// decode-once even with leading filters and computed dimensions.
 func (p *PipelineExec) tailFn(ctx *cluster.Context) ColumnarPartitionFn {
 	fns := make([]ColumnarPartitionFn, len(p.Ops))
 	for i, op := range p.Ops {
@@ -109,7 +117,22 @@ func (p *PipelineExec) tailFn(ctx *cluster.Context) ColumnarPartitionFn {
 			return rows, nil, err
 		}
 	}
+	var spec *stageDecode
+	if ctx.DecodeAtScan {
+		spec = planStageDecode(p.Ops)
+	}
+	var stats *skyline.Stats
+	if ctx.Metrics != nil {
+		stats = &ctx.Metrics.Sky
+	}
 	return func(i int, part []types.Row, b *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
+		if spec != nil && b == nil && len(part) > 0 {
+			if db, ok := spec.decodeSourceBatch(part, stats); ok {
+				b = db
+				ctx.Metrics.Alloc(db.MemSize())
+				defer ctx.Metrics.Free(db.MemSize())
+			}
+		}
 		cur := part
 		var err error
 		for _, fn := range fns {

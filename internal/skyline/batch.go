@@ -79,6 +79,12 @@ type Batch struct {
 	nulls   []uint64
 	anyNull bool
 
+	// bindings maps input-row ordinals onto dense columns (decoded numeric
+	// dimensions or appended computed columns) for the vectorized expression
+	// engine; computed holds the appended columns. See batch_cols.go.
+	bindings map[int]colBinding
+	computed []computedColumn
+
 	// Batch-local cost counters; Flush merges them into a shared Stats.
 	counters Counters
 }

@@ -286,6 +286,12 @@ func (b *Batch) SFS(distinct bool) []int {
 	sort.SliceStable(order, func(x, y int) bool {
 		return scores[order[x]] < scores[order[y]]
 	})
+	return b.sfsFilter(order, distinct)
+}
+
+// sfsFilter is the eviction-free SFS filter pass over an already
+// dominance-compatible processing order (entropy or Z-order presorted).
+func (b *Batch) sfsFilter(order []int, distinct bool) []int {
 	window := make([]int, 0, 16)
 	for _, t := range order {
 		dominated := false

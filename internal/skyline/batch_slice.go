@@ -62,6 +62,16 @@ func (b *Batch) Slice(lo, hi int) *Batch {
 		out.nulls = b.nulls[lo:hi]
 		out.anyNull = anyBitSet(out.nulls)
 	}
+	if len(b.computed) > 0 {
+		out.computed = make([]computedColumn, len(b.computed))
+		for k, c := range b.computed {
+			out.computed[k] = computedColumn{vals: c.vals[lo:hi]}
+			if c.nulls != nil {
+				out.computed[k].nulls = c.nulls[lo:hi]
+			}
+		}
+	}
+	out.bindings = b.bindings // read-only after construction
 	return out
 }
 
@@ -103,6 +113,24 @@ func (b *Batch) Select(idx []int) *Batch {
 			out.nulls, out.anyNull = nulls, true
 		}
 	}
+	if len(b.computed) > 0 {
+		out.computed = make([]computedColumn, len(b.computed))
+		for k, c := range b.computed {
+			vals := make([]float64, len(idx))
+			for i, j := range idx {
+				vals[i] = c.vals[j]
+			}
+			nc := computedColumn{vals: vals}
+			if c.nulls != nil {
+				nc.nulls = make([]bool, len(idx))
+				for i, j := range idx {
+					nc.nulls[i] = c.nulls[j]
+				}
+			}
+			out.computed[k] = nc
+		}
+	}
+	out.bindings = b.bindings // read-only after construction
 	return out
 }
 
@@ -111,7 +139,9 @@ func (b *Batch) Select(idx []int) *Batch {
 // mergeable: different dimension signatures (Tag), directions, or dominance
 // definitions. DIFF equality ids are re-mapped into a shared id space via
 // the reverse intern tables; numeric vectors and null masks concatenate
-// untouched.
+// untouched. Column bindings and computed columns are batch-local and do
+// not survive the merge (merged batches feed the global skyline, which
+// reads only the decoded dimension storage).
 func MergeBatches(batches []*Batch) (*Batch, bool) {
 	if len(batches) == 0 {
 		return nil, false

@@ -44,8 +44,6 @@ func entropyScore(dims types.Row, dirs []Dir) float64 {
 // SFS requires the data on a single node, which is the drawback the paper
 // cites for sorting-based algorithms in a distributed setting (§2).
 func SFS(points []Point, dirs []Dir, distinct bool, stats *Stats) ([]Point, error) {
-	var local Counters
-	defer stats.Merge(&local)
 	// Decode-once discipline (mirroring Batch.SFS, which sums the already
 	// decoded vectors): the monotone score column is computed once per
 	// point, not re-evaluated on every sort comparison.
@@ -64,6 +62,15 @@ func SFS(points []Point, dirs []Dir, distinct bool, stats *Stats) ([]Point, erro
 	for i, j := range order {
 		sorted[i] = points[j]
 	}
+	return sfsFilterBoxed(sorted, dirs, distinct, stats)
+}
+
+// sfsFilterBoxed is the boxed eviction-free SFS filter pass over an already
+// dominance-compatible processing order, shared by the entropy and Z-order
+// presorts.
+func sfsFilterBoxed(sorted []Point, dirs []Dir, distinct bool, stats *Stats) ([]Point, error) {
+	var local Counters
+	defer stats.Merge(&local)
 	window := make([]Point, 0, 16)
 	for _, t := range sorted {
 		dominated := false

@@ -20,6 +20,8 @@ type Session struct {
 	windowCap    int
 	noFusion     bool
 	noKernel     bool
+	noVector     bool
+	zorderSFS    bool
 	adaptiveRows int
 }
 
@@ -80,6 +82,25 @@ func WithoutStageFusion() Option {
 // mirroring WithoutStageFusion.
 func WithoutColumnarKernel() Option {
 	return func(s *Session) { s.noKernel = true }
+}
+
+// WithoutVectorizedExprs disables the vectorized expression engine:
+// filters, projections, and extremum passes then evaluate boxed, row at a
+// time, and fused stages stop decoding their columnar batch at the scan
+// (cluster.Context.DecodeAtScan). The default (vectorized) execution is
+// result-identical; this switch exists for A/B ablation and debugging,
+// mirroring WithoutColumnarKernel.
+func WithoutVectorizedExprs() Option {
+	return func(s *Session) { s.noVector = true }
+}
+
+// WithZorderSFSPresort switches the SortFilterSkyline strategy's presort
+// from the entropy score to the Z-order space-filling curve: the same
+// skyline, computed over a processing order that clusters tuples close in
+// the dimension space, which tends to surface dominating window tuples
+// earlier (the ROADMAP's space-filling-curve presort; ablated in skybench).
+func WithZorderSFSPresort() Option {
+	return func(s *Session) { s.zorderSFS = true }
 }
 
 // WithAdaptiveExchange makes exchanges adaptive (AQE-style): the
@@ -161,10 +182,12 @@ func (s *Session) Tables() []string { return s.engine.Catalog.Names() }
 // options assembles the physical planning options of this session.
 func (s *Session) options() physical.Options {
 	return physical.Options{
-		Strategy:              s.strategy,
-		SkylineWindowCap:      s.windowCap,
-		DisableStageFusion:    s.noFusion,
-		DisableColumnarKernel: s.noKernel,
+		Strategy:               s.strategy,
+		SkylineWindowCap:       s.windowCap,
+		DisableStageFusion:     s.noFusion,
+		DisableColumnarKernel:  s.noKernel,
+		DisableVectorizedExprs: s.noVector,
+		SFSZorderPresort:       s.zorderSFS,
 	}
 }
 
@@ -209,6 +232,7 @@ func (s *Session) run(c *core.Compiled) (*core.Result, error) {
 	ctx := cluster.NewContext(s.executors)
 	ctx.Simulate = s.simulate
 	ctx.TargetRowsPerPartition = s.adaptiveRows
+	ctx.DecodeAtScan = !s.noVector && !s.noKernel
 	return s.engine.RunCtx(c, ctx)
 }
 

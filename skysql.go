@@ -48,6 +48,33 @@
 // row-only exchanges) everywhere for A/B ablation. Exchanges can also pick
 // their partition counts adaptively from observed intermediate sizes
 // (WithAdaptiveExchange), collapsing tiny results into fewer tasks.
+//
+// # Vectorized expression evaluation
+//
+// Expressions inside the narrow pipeline — WHERE predicates, projection
+// outputs, the single-dimension extremum rewrite — evaluate column at a
+// time over the decoded batch whenever they can, instead of boxing one
+// row at a time. A fused scan → filter → local-skyline stage decodes each
+// partition once at the scan (the skyline dimensions, rebased through any
+// intervening projections, plus every other numeric column the stage's
+// expressions reference), the filter reduces a selection bitmap over the
+// dense columns, projections append computed columns, and the skyline
+// reuses the surviving batch — the whole narrow chain touches each value's
+// boxed form exactly once. The contract is strict bit-identity with the
+// boxed path, enforced by two refusal layers: a static probe accepts only
+// column references of numeric kinds, numeric/boolean/NULL literals,
+// arithmetic, comparisons, AND/OR/NOT, unary minus, and IS [NOT] NULL
+// (strings, CASE, IN, functions, aggregates, and integer literals beyond
+// ±2⁵³ are served boxed), and a runtime guard refuses any batch whose
+// values the float64 kernels cannot reproduce exactly (missing dense
+// column, integer arithmetic leaving the ±2⁵³ range where int64 wraps but
+// float64 rounds). Refused expressions fall back to the boxed row loop —
+// with the sidecar still carried forward by index selection — so results
+// are always row-for-row identical. Metrics.VectorizedBatches counts the
+// partition passes the engine actually served (surfaced by EXPLAIN after a
+// run, the shell's \s, and skybench -json); WithoutVectorizedExprs forces
+// the boxed path everywhere for A/B ablation, mirroring
+// WithoutColumnarKernel.
 package skysql
 
 import (

@@ -528,3 +528,69 @@ func TestExplainReportsBatchesDecoded(t *testing.T) {
 		t.Error("kernel run must decode at least one batch")
 	}
 }
+
+func TestWithoutVectorizedExprsOption(t *testing.T) {
+	// A filtered skyline query must produce identical rows with the
+	// vectorized expression engine on and off; the default (vectorized)
+	// run reports the passes it served, the boxed run reports none.
+	q := "SELECT id, price, user_rating FROM hotels WHERE price < 70 SKYLINE OF price MIN, user_rating MAX"
+	vec := hotelSession(t)
+	vdf, err := vec.SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrows, err := vdf.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vdf.Metrics().VectorizedBatches() == 0 {
+		t.Error("default run must report vectorized batches on a filtered skyline")
+	}
+	boxed := skysql.NewSession(skysql.WithExecutors(3), skysql.WithoutVectorizedExprs())
+	hotelInto(t, boxed)
+	bdf, err := boxed.SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brows, err := bdf.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdf.Metrics().VectorizedBatches() != 0 {
+		t.Error("WithoutVectorizedExprs run must report zero vectorized batches")
+	}
+	vg, bg := rowsToStrings(vrows), rowsToStrings(brows)
+	if strings.Join(vg, "|") != strings.Join(bg, "|") {
+		t.Fatalf("vectorized rows %v != boxed rows %v", vg, bg)
+	}
+	out, err := vdf.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "vectorized batches:") {
+		t.Errorf("explain after run must report vectorized batches:\n%s", out)
+	}
+}
+
+func TestWithZorderSFSPresortOption(t *testing.T) {
+	// The Z-order presort computes the same skyline as the entropy presort
+	// through the public API.
+	q := "SELECT id, price, user_rating FROM hotels SKYLINE OF price MIN, user_rating MAX"
+	entropy := skysql.NewSession(skysql.WithExecutors(3), skysql.WithSkylineStrategy(skysql.SortFilterSkyline))
+	hotelInto(t, entropy)
+	erows, err := entropy.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zorder := skysql.NewSession(skysql.WithExecutors(3),
+		skysql.WithSkylineStrategy(skysql.SortFilterSkyline), skysql.WithZorderSFSPresort())
+	hotelInto(t, zorder)
+	zrows, err := zorder.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, zg := rowsToStrings(erows), rowsToStrings(zrows)
+	if strings.Join(eg, "|") != strings.Join(zg, "|") {
+		t.Fatalf("zorder presort rows %v != entropy presort rows %v", zg, eg)
+	}
+}
