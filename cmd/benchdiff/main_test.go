@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"skysql/internal/bench"
+)
+
+func rec(exp string, stages, decoded, vec, shuffled, peak int64, rows int) bench.Record {
+	return bench.Record{
+		Experiment: exp, Dataset: "d", Algorithm: "a", Dimensions: 2, Tuples: 100,
+		Executors: 4, ColumnarKernel: true, VectorizedExprs: true,
+		StagesExecuted: stages, BatchesDecoded: decoded, VectorizedBatches: vec,
+		RowsShuffled: shuffled, PeakBytes: peak, ResultRows: rows, WallSeconds: 0.5,
+	}
+}
+
+func report(recs ...bench.Record) *bench.Report {
+	return &bench.Report{Scale: 1, Seed: 1, Records: recs}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	base := report(rec("e", 3, 4, 4, 100, 9000, 7), rec("e", 3, 4, 0, 100, 9000, 7))
+	var sb strings.Builder
+	if got := compare(base, report(base.Records...), 0, &sb); got != 0 {
+		t.Fatalf("identical reports regressed: %d\n%s", got, sb.String())
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := report(rec("e", 3, 4, 4, 100, 9000, 7))
+	cases := []struct {
+		name    string
+		mutate  func(*bench.Record)
+		regress bool
+	}{
+		{"more stages", func(r *bench.Record) { r.StagesExecuted++ }, true},
+		{"fewer stages", func(r *bench.Record) { r.StagesExecuted-- }, false},
+		{"more decodes", func(r *bench.Record) { r.BatchesDecoded++ }, true},
+		{"fewer vectorized", func(r *bench.Record) { r.VectorizedBatches-- }, true},
+		{"more vectorized", func(r *bench.Record) { r.VectorizedBatches++ }, false},
+		{"more shuffled", func(r *bench.Record) { r.RowsShuffled += 5 }, true},
+		{"more peak bytes", func(r *bench.Record) { r.PeakBytes += 5 }, true},
+		{"result rows drift", func(r *bench.Record) { r.ResultRows++ }, true},
+		{"wall time only", func(r *bench.Record) { r.WallSeconds *= 100 }, false},
+	}
+	for _, tc := range cases {
+		fresh := report(base.Records[0])
+		tc.mutate(&fresh.Records[0])
+		var sb strings.Builder
+		got := compare(base, fresh, 0, &sb)
+		if (got > 0) != tc.regress {
+			t.Errorf("%s: regressions = %d, want regression: %v\n%s", tc.name, got, tc.regress, sb.String())
+		}
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	base := report(rec("e", 3, 4, 4, 100, 9000, 7))
+	fresh := report(rec("e", 3, 4, 4, 105, 9000, 7))
+	var sb strings.Builder
+	if got := compare(base, fresh, 0.1, &sb); got != 0 {
+		t.Errorf("5%% growth within 10%% tolerance must pass: %d\n%s", got, sb.String())
+	}
+	if got := compare(base, fresh, 0.01, &sb); got == 0 {
+		t.Error("5% growth beyond 1% tolerance must fail")
+	}
+}
+
+func TestCompareRecordSetDrift(t *testing.T) {
+	base := report(rec("e", 3, 4, 4, 100, 9000, 7))
+	var sb strings.Builder
+	// Missing record.
+	if got := compare(base, report(), 0, &sb); got == 0 {
+		t.Error("missing fresh record must fail")
+	}
+	// Extra record (different identity).
+	extra := rec("other", 3, 4, 4, 100, 9000, 7)
+	if got := compare(base, report(base.Records[0], extra), 0, &sb); got == 0 {
+		t.Error("record absent from baseline must fail")
+	}
+	// Same identity, different multiplicity.
+	if got := compare(base, report(base.Records[0], base.Records[0]), 0, &sb); got == 0 {
+		t.Error("record count drift must fail")
+	}
+	// Errored record.
+	bad := base.Records[0]
+	bad.Error = "boom"
+	if got := compare(base, report(bad), 0, &sb); got == 0 {
+		t.Error("errored record must fail")
+	}
+}
+
+func TestCompareVariantSeparatesIdentities(t *testing.T) {
+	// Two records differing only in Variant (e.g. filter cuts) must not be
+	// zipped positionally: reordering them across reports is a shape
+	// mismatch, not a counter regression.
+	a := rec("e", 3, 4, 4, 100, 9000, 7)
+	a.Variant = "d1<0.25"
+	b := rec("e", 3, 4, 0, 200, 9000, 9)
+	b.Variant = "d1<0.75"
+	base := report(a, b)
+	var sb strings.Builder
+	if got := compare(base, report(b, a), 0, &sb); got != 0 {
+		t.Errorf("variant reorder must match by identity, got %d regressions\n%s", got, sb.String())
+	}
+	// A changed cut value shows up as record-set drift, not counter noise.
+	c := b
+	c.Variant = "d1<0.9"
+	sb.Reset()
+	if got := compare(base, report(a, c), 0, &sb); got == 0 {
+		t.Error("changed variant must fail as record-set drift")
+	} else if !strings.Contains(sb.String(), "regenerate the baseline") {
+		t.Errorf("want shape error, got:\n%s", sb.String())
+	}
+}

@@ -77,6 +77,19 @@ type Spec struct {
 	// partitioning with this rows-per-partition target
 	// (cluster.Context.TargetRowsPerPartition).
 	AdaptiveTarget int
+	// AdaptiveDefault enables cost-chosen adaptive partitioning without an
+	// explicit target (cluster.Context.AdaptiveExchange) — the session
+	// default the costgate experiment measures.
+	AdaptiveDefault bool
+	// NoCostGate disables the decode-at-scan cost gate for this run
+	// (cluster.Context.DisableCostGate), the ungated side of the costgate
+	// A/B. The pure kernel/vectorization ablations also set it so their
+	// trajectory stays comparable across PRs.
+	NoCostGate bool
+	// Variant distinguishes records an experiment emits at several query
+	// shapes over otherwise identical specs (e.g. the filter cut of the
+	// vectorized/costgate sweeps), so benchdiff matches like with like.
+	Variant string
 }
 
 // Measurement is the outcome of one run.
@@ -106,9 +119,12 @@ type Measurement struct {
 	// AdaptivePartitions lists the partition counts adaptive exchanges
 	// chose, in execution order (empty when adaptivity is off).
 	AdaptivePartitions []int
-	ResultRows         int
-	TimedOut           bool
-	Err                error
+	// CostDecisions renders the cost-model decisions of the run, in
+	// execution order (empty when the model decided nothing).
+	CostDecisions []string
+	ResultRows    int
+	TimedOut      bool
+	Err           error
 }
 
 // Seconds returns the runtime in seconds (for chart-style output).
@@ -237,6 +253,9 @@ func (c Config) fill(m *Measurement, res *core.Result) {
 	for _, d := range res.Metrics.AdaptiveDecisions() {
 		m.AdaptivePartitions = append(m.AdaptivePartitions, d.Chosen)
 	}
+	for _, d := range res.Metrics.CostDecisions() {
+		m.CostDecisions = append(m.CostDecisions, d.String())
+	}
 	for _, st := range res.Metrics.StageTimes() {
 		m.StageSeconds = append(m.StageSeconds, st.Elapsed.Seconds())
 	}
@@ -277,6 +296,8 @@ func (c Config) run(spec Spec) Measurement {
 	ctx.Simulate = true
 	ctx.TaskOverhead = time.Millisecond
 	ctx.TargetRowsPerPartition = spec.AdaptiveTarget
+	ctx.AdaptiveExchange = spec.AdaptiveDefault
+	ctx.DisableCostGate = spec.NoCostGate
 	ctx.DecodeAtScan = !spec.NoVector && !spec.NoKernel
 	type outcome struct {
 		res *core.Result

@@ -79,6 +79,9 @@ func runExchange(cfg Config, w io.Writer) error {
 				ctx.Simulate = true
 				ctx.TaskOverhead = time.Millisecond
 				ctx.TargetRowsPerPartition = v.adaptive
+				// Pin the ungated path; the costgate experiment measures the
+				// gate (no filters here, so this is purely declarative).
+				ctx.DisableCostGate = true
 				res, err := engine.RunCtx(compiled, ctx)
 				if err != nil {
 					return fmt.Errorf("exchange %s/%s/%s: %w", dist, alg.Name, v.name, err)
@@ -95,7 +98,7 @@ func runExchange(cfg Config, w io.Writer) error {
 				if cfg.Observer != nil {
 					m := Measurement{Spec: Spec{Dataset: "synthetic_" + dist.String(), Complete: true,
 						Dimensions: dims, Tuples: n, Executors: executors,
-						Algorithm: alg, NoKernel: v.noKernel, AdaptiveTarget: v.adaptive}}
+						Algorithm: alg, NoKernel: v.noKernel, AdaptiveTarget: v.adaptive, NoCostGate: true}}
 					cfg.fill(&m, res)
 					cfg.Observer(m)
 				}

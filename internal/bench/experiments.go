@@ -40,6 +40,7 @@ func Experiments() []Experiment {
 		{"kernel", "Columnar dominance kernel vs boxed compare path — fixed synthetic workload", runKernel},
 		{"exchange", "Columnar data plane — batch sidecars across exchanges + adaptive partitioning", runExchange},
 		{"vectorized", "Vectorized expression engine — boxed vs vectorized filtered skyline plans", runVectorized},
+		{"costgate", "Cost-gated adaptive planning — decode-at-scan gate + cost-chosen adaptive exchanges", runCostGate},
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"skysql/internal/catalog"
+	"skysql/internal/cluster"
 	"skysql/internal/core"
 	"skysql/internal/datagen"
 	"skysql/internal/physical"
@@ -59,10 +60,19 @@ func runKernel(cfg Config, w io.Writer) error {
 			var secs [2]float64
 			var tests, comps [2]int64
 			for _, noKernel := range []bool{true, false} {
-				res, err := engine.Query(query, executors, physical.Options{
+				compiled, err := engine.CompileSQL(query, physical.Options{
 					Strategy:              alg.Strategy,
 					DisableColumnarKernel: noKernel,
 				})
+				if err != nil {
+					return fmt.Errorf("kernel %s/%s: %w", wl.label, alg.Name, err)
+				}
+				ctx := cluster.NewContext(executors)
+				// Pin the ungated decode path (like the exchange and
+				// vectorized ablations) so this trajectory can never pick up
+				// cost-gate behaviour if the workload ever grows a filter.
+				ctx.DisableCostGate = true
+				res, err := engine.RunCtx(compiled, ctx)
 				if err != nil {
 					return fmt.Errorf("kernel %s/%s: %w", wl.label, alg.Name, err)
 				}
@@ -76,7 +86,7 @@ func runKernel(cfg Config, w io.Writer) error {
 				if cfg.Observer != nil {
 					m := Measurement{Spec: Spec{Dataset: wl.label, Complete: wl.complete,
 						Dimensions: dims, Tuples: n, Executors: executors,
-						Algorithm: alg, NoKernel: noKernel}}
+						Algorithm: alg, NoKernel: noKernel, NoCostGate: true}}
 					cfg.fill(&m, res)
 					cfg.Observer(m)
 				}

@@ -4,13 +4,17 @@ package bench
 // skybench -json output. Future PRs append these documents to a
 // BENCH_*.json trajectory to track performance across changes.
 type Record struct {
-	Experiment     string  `json:"experiment"`
-	Dataset        string  `json:"dataset"`
-	Complete       bool    `json:"complete"`
-	Algorithm      string  `json:"algorithm"`
-	Dimensions     int     `json:"dimensions"`
-	Tuples         int     `json:"tuples"`
-	Executors      int     `json:"executors"`
+	Experiment string `json:"experiment"`
+	Dataset    string `json:"dataset"`
+	Complete   bool   `json:"complete"`
+	Algorithm  string `json:"algorithm"`
+	Dimensions int    `json:"dimensions"`
+	Tuples     int    `json:"tuples"`
+	Executors  int    `json:"executors"`
+	// Variant names the query shape when an experiment sweeps one over
+	// otherwise identical specs (e.g. "d1<0.25"); part of a record's
+	// identity in benchdiff.
+	Variant        string  `json:"variant,omitempty"`
 	ColumnarKernel bool    `json:"columnar_kernel"`
 	WallSeconds    float64 `json:"wall_time_seconds"`
 	DominanceTests int64   `json:"dominance_tests"`
@@ -30,14 +34,25 @@ type Record struct {
 	VectorizedExprs   bool  `json:"vectorized_exprs"`
 	VectorizedBatches int64 `json:"vectorized_batches"`
 	// AdaptiveTargetRows is the rows-per-partition target of adaptive
-	// exchanges (0 = static executor-count partitioning).
+	// exchanges (0 = static executor-count partitioning, unless
+	// AdaptiveExchange picked targets per exchange).
 	AdaptiveTargetRows int `json:"adaptive_target_rows,omitempty"`
+	// AdaptiveExchange reports cost-chosen adaptive partitioning (the
+	// session default): targets picked per exchange by the cost model.
+	AdaptiveExchange bool `json:"adaptive_exchange,omitempty"`
 	// AdaptivePartitions lists the partition counts adaptive exchanges
 	// chose, in execution order.
-	AdaptivePartitions []int  `json:"adaptive_partitions,omitempty"`
-	ResultRows         int    `json:"result_rows"`
-	TimedOut           bool   `json:"timed_out"`
-	Error              string `json:"error,omitempty"`
+	AdaptivePartitions []int `json:"adaptive_partitions,omitempty"`
+	// CostGate reports whether the decode-at-scan cost gate was active for
+	// the run (false on boxed runs and on the pure kernel/vectorization
+	// ablations, which pin the ungated path).
+	CostGate bool `json:"cost_gate,omitempty"`
+	// CostDecisions renders the cost-model decisions of the run, in
+	// execution order. Informational: benchdiff does not gate on it.
+	CostDecisions []string `json:"cost_decisions,omitempty"`
+	ResultRows    int      `json:"result_rows"`
+	TimedOut      bool     `json:"timed_out"`
+	Error         string   `json:"error,omitempty"`
 }
 
 // NewRecord flattens a measurement into a record tagged with the
@@ -51,6 +66,7 @@ func NewRecord(experiment string, m Measurement) Record {
 		Dimensions:         m.Spec.Dimensions,
 		Tuples:             m.Spec.Tuples,
 		Executors:          m.Spec.Executors,
+		Variant:            m.Spec.Variant,
 		ColumnarKernel:     !m.Spec.NoKernel,
 		WallSeconds:        m.Seconds(),
 		DominanceTests:     m.DominanceTests,
@@ -64,7 +80,10 @@ func NewRecord(experiment string, m Measurement) Record {
 		VectorizedExprs:    !m.Spec.NoVector,
 		VectorizedBatches:  m.VectorizedBatches,
 		AdaptiveTargetRows: m.Spec.AdaptiveTarget,
+		AdaptiveExchange:   m.Spec.AdaptiveDefault,
 		AdaptivePartitions: m.AdaptivePartitions,
+		CostGate:           !m.Spec.NoCostGate && !m.Spec.NoVector && !m.Spec.NoKernel,
+		CostDecisions:      m.CostDecisions,
 		ResultRows:         m.ResultRows,
 		TimedOut:           m.TimedOut,
 	}

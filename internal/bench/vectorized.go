@@ -77,6 +77,11 @@ func runVectorized(cfg Config, w io.Writer) error {
 				ctx := cluster.NewContext(executors)
 				ctx.Simulate = true
 				ctx.TaskOverhead = time.Millisecond
+				// Pin the ungated decode-at-scan path: this experiment ablates
+				// the vectorized engine itself, and its BENCH_PR4 trajectory
+				// must stay comparable across PRs. The costgate experiment
+				// measures the gate.
+				ctx.DisableCostGate = true
 				ctx.DecodeAtScan = !v.noVector && !v.noKernel
 				res, err := engine.RunCtx(compiled, ctx)
 				if err != nil {
@@ -90,7 +95,8 @@ func runVectorized(cfg Config, w io.Writer) error {
 				if cfg.Observer != nil {
 					m := Measurement{Spec: Spec{Dataset: "synthetic_" + dist.String(), Complete: true,
 						Dimensions: dims, Tuples: n, Executors: executors,
-						Algorithm: alg, NoKernel: v.noKernel, NoVector: v.noVector}}
+						Algorithm: alg, NoKernel: v.noKernel, NoVector: v.noVector, NoCostGate: true,
+						Variant: fmt.Sprintf("d1<%g", cut)}}
 					cfg.fill(&m, res)
 					cfg.Observer(m)
 				}

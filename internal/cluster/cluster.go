@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skysql/internal/cost"
 	"skysql/internal/skyline"
 	"skysql/internal/types"
 )
@@ -119,6 +120,7 @@ type Metrics struct {
 	mu         sync.Mutex
 	stageTimes []StageTime
 	adaptive   []AdaptiveDecision
+	cost       []CostDecision
 
 	// Sky aggregates dominance-test counts across all skyline operators in
 	// the query.
@@ -156,6 +158,75 @@ func (m *Metrics) AdaptiveDecisions() []AdaptiveDecision {
 	out := make([]AdaptiveDecision, len(m.adaptive))
 	copy(out, m.adaptive)
 	return out
+}
+
+// CostDecision records one choice the cost model made during planning or
+// execution, so adaptive behaviour stays observable: EXPLAIN (after a
+// run), the shell's \s, and skybench -json all surface the list.
+type CostDecision struct {
+	// Site names the decision point: "decode-at-scan" (fused stages),
+	// "exchange-target" (adaptive partition counts), "exchange-bucketing"
+	// (columnar vs boxed partitioned exchanges).
+	Site string
+	// Choice is the selected alternative, e.g. "decode"/"defer",
+	// "adaptive"/"static", "columnar"/"boxed".
+	Choice string
+	// Rows is the (estimated or observed) input row count the decision was
+	// based on.
+	Rows int
+	// Selectivity is the estimated predicate selectivity driving the
+	// decision; -1 when no predicate was involved.
+	Selectivity float64
+	// Detail renders the deciding quantities for humans.
+	Detail string
+}
+
+// String renders the decision for EXPLAIN and the shell.
+func (d CostDecision) String() string {
+	s := fmt.Sprintf("%s: %s (rows=%d", d.Site, d.Choice, d.Rows)
+	if d.Selectivity >= 0 {
+		s += fmt.Sprintf(", selectivity=%.3f", d.Selectivity)
+	}
+	if d.Detail != "" {
+		s += ", " + d.Detail
+	}
+	return s + ")"
+}
+
+// AddCostDecision appends one cost-model decision, in execution order.
+func (m *Metrics) AddCostDecision(d CostDecision) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.cost = append(m.cost, d)
+	m.mu.Unlock()
+}
+
+// CostDecisions returns a copy of the cost-model decision records.
+func (m *Metrics) CostDecisions() []CostDecision {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]CostDecision, len(m.cost))
+	copy(out, m.cost)
+	return out
+}
+
+// FormatCostDecisions renders the decision list one per line ("" when the
+// cost model made no decisions).
+func (m *Metrics) FormatCostDecisions() string {
+	ds := m.CostDecisions()
+	if len(ds) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, d := range ds {
+		sb.WriteString("  " + d.String() + "\n")
+	}
+	return sb.String()
 }
 
 // BatchesDecoded returns the number of columnar batches decoded during the
@@ -343,8 +414,25 @@ type Context struct {
 	// [1, Executors] — instead of the static executor count, so tiny
 	// intermediate results collapse into fewer tasks and the stage makespan
 	// stops paying per-task overhead for near-empty partitions. 0 (the
-	// default) keeps the static count. Decisions are recorded in Metrics.
+	// default) keeps the static count unless AdaptiveExchange is set.
+	// Decisions are recorded in Metrics.
 	TargetRowsPerPartition int
+
+	// AdaptiveExchange makes exchanges adaptive even without an explicit
+	// TargetRowsPerPartition: the target is then cost-chosen per exchange
+	// from the observed upstream size and the executor count
+	// (cost.ExchangeTarget), and the choice is recorded in
+	// Metrics.CostDecisions as well as Metrics.AdaptiveDecisions. Sessions
+	// enable this by default (skysql.WithoutAdaptiveExchange opts out); the
+	// raw cluster context keeps it off so low-level callers see the static
+	// partitioning unless they ask.
+	AdaptiveExchange bool
+
+	// DisableCostGate turns off the cost model's decode-at-scan gating:
+	// fused stages then decode eagerly whenever DecodeAtScan allows,
+	// exactly as before the gate existed. Results are bit-identical either
+	// way; the switch exists for A/B ablation of the gate itself.
+	DisableCostGate bool
 
 	taskRealNanos atomic.Int64 // serial time actually spent inside tasks
 	taskSimNanos  atomic.Int64 // simulated makespan of those stages
@@ -498,14 +586,26 @@ func newDatasetWithBatches(parts [][]types.Row, batches []*skyline.Batch) *Datas
 }
 
 // partitionTarget picks the post-exchange partition count for rows rows:
-// the static executor count, or — when TargetRowsPerPartition is set — the
-// adaptive count derived from the observed size, recorded in Metrics.
+// the static executor count, the adaptive count under an explicit
+// TargetRowsPerPartition, or — when AdaptiveExchange is set — the adaptive
+// count under a cost-chosen target derived from the observed size and the
+// executor count. Adaptive choices are recorded in Metrics; cost-chosen
+// targets additionally record a CostDecision.
 func (c *Context) partitionTarget(rows int) int {
 	static := c.Executors
-	if c.TargetRowsPerPartition <= 0 || rows == 0 {
+	if rows == 0 {
 		return static
 	}
-	chosen := (rows + c.TargetRowsPerPartition - 1) / c.TargetRowsPerPartition
+	target := c.TargetRowsPerPartition
+	costChosen := false
+	if target <= 0 {
+		if !c.AdaptiveExchange {
+			return static
+		}
+		target = cost.ExchangeTarget(rows, static)
+		costChosen = true
+	}
+	chosen := (rows + target - 1) / target
 	if chosen > static {
 		chosen = static
 	}
@@ -513,6 +613,16 @@ func (c *Context) partitionTarget(rows int) int {
 		chosen = 1
 	}
 	c.Metrics.AddAdaptiveDecision(AdaptiveDecision{Rows: rows, Static: static, Chosen: chosen})
+	if costChosen {
+		choice := "adaptive"
+		if chosen == static {
+			choice = "static"
+		}
+		c.Metrics.AddCostDecision(CostDecision{
+			Site: "exchange-target", Choice: choice, Rows: rows, Selectivity: -1,
+			Detail: fmt.Sprintf("target=%d, partitions=%d/%d", target, chosen, static),
+		})
+	}
 	return chosen
 }
 

@@ -1,0 +1,318 @@
+// Package cost is the engine's light-weight cost model: column sketches
+// (min/max/null-fraction, one pass over the rows, cached per scan) plus
+// static predicate-shape heuristics feed a cardinality/selectivity
+// estimator, and a handful of closed-form rules turn the estimates into
+// the planning decisions that used to be hardcoded:
+//
+//   - GateDecodeAtScan decides whether a fused stage should decode its
+//     columnar batch at the source (paying the decode on every pre-filter
+//     row to run the filters vectorized) or defer the decode to the local
+//     skyline (paying the boxed filter but decoding only the survivors).
+//
+//   - ExchangeTarget picks the rows-per-partition target of an adaptive
+//     exchange from the observed upstream size and the executor count, so
+//     tiny intermediates collapse into fewer tasks while large inputs
+//     still fan out to every executor.
+//
+// Every consumer records its choice in cluster.Metrics.CostDecisions, so
+// the decisions stay observable (EXPLAIN after a run, the shell's \s,
+// skybench -json). The model is deliberately coarse — decisions must be
+// deterministic and cheap, and every gated path is bit-identical to its
+// ungated twin, so a wrong estimate costs time, never correctness.
+package cost
+
+import (
+	"math"
+
+	"skysql/internal/expr"
+	"skysql/internal/types"
+)
+
+// Column is the sketch of one column: the numeric range and null fraction
+// observed in a single pass. Numeric is false when any non-NULL value was
+// non-numeric (no range-based estimates then).
+type Column struct {
+	Min, Max     float64
+	NullFraction float64
+	Numeric      bool
+}
+
+// Table aggregates the column sketches of one relation.
+type Table struct {
+	Rows int
+	Cols []Column
+}
+
+// Sketch builds the table sketch in one pass over rows. width is the
+// schema width; short rows leave the missing columns non-numeric.
+func Sketch(rows []types.Row, width int) *Table {
+	t := &Table{Rows: len(rows), Cols: make([]Column, width)}
+	nulls := make([]int, width)
+	nonNum := make([]bool, width)
+	for i := range t.Cols {
+		t.Cols[i].Min, t.Cols[i].Max = math.Inf(1), math.Inf(-1)
+	}
+	for _, row := range rows {
+		for d := 0; d < width && d < len(row); d++ {
+			v := row[d]
+			switch {
+			case v.IsNull():
+				nulls[d]++
+			case v.IsNumeric():
+				f := v.AsFloat()
+				if f < t.Cols[d].Min {
+					t.Cols[d].Min = f
+				}
+				if f > t.Cols[d].Max {
+					t.Cols[d].Max = f
+				}
+			default:
+				nonNum[d] = true
+			}
+		}
+	}
+	for d := range t.Cols {
+		c := &t.Cols[d]
+		c.Numeric = !nonNum[d] && c.Min <= c.Max
+		if t.Rows > 0 {
+			c.NullFraction = float64(nulls[d]) / float64(t.Rows)
+		}
+	}
+	return t
+}
+
+// Textbook default selectivities for predicate shapes the sketch cannot
+// resolve, and the clamp bounds keeping compound estimates sane.
+const (
+	defaultSelectivity = 1.0 / 3
+	eqSelectivity      = 0.1
+	minSelectivity     = 0.001
+)
+
+// Selectivity estimates the fraction of rows a predicate keeps, from the
+// sketch plus predicate-shape heuristics: range comparisons against
+// literals interpolate the sketched min/max, AND multiplies, OR adds with
+// the overlap subtracted, NOT complements, IS [NOT] NULL reads the null
+// fraction, and anything else falls back to the textbook 1/3. The result
+// is clamped to [minSelectivity, 1]. t may be nil (everything defaults).
+func Selectivity(e expr.Expr, t *Table) float64 {
+	return clamp(selectivity(e, t))
+}
+
+func clamp(s float64) float64 {
+	if s < minSelectivity {
+		return minSelectivity
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func selectivity(e expr.Expr, t *Table) float64 {
+	switch n := e.(type) {
+	case *expr.Alias:
+		return selectivity(n.Child, t)
+	case *expr.Not:
+		return 1 - clamp(selectivity(n.Child, t))
+	case *expr.IsNull:
+		if c, ok := sketchCol(n.Child, t); ok {
+			if n.Negated {
+				return 1 - c.NullFraction
+			}
+			return c.NullFraction
+		}
+		return defaultSelectivity
+	case *expr.Literal:
+		if n.Value.Kind() == types.KindBool {
+			if n.Value.AsBool() {
+				return 1
+			}
+			return 0
+		}
+	case *expr.Binary:
+		switch n.Op {
+		case expr.OpAnd:
+			return clamp(selectivity(n.L, t)) * clamp(selectivity(n.R, t))
+		case expr.OpOr:
+			l, r := clamp(selectivity(n.L, t)), clamp(selectivity(n.R, t))
+			return l + r - l*r
+		case expr.OpEq:
+			return eqSelectivity
+		case expr.OpNeq:
+			return 1 - eqSelectivity
+		case expr.OpLt, expr.OpLeq, expr.OpGt, expr.OpGeq:
+			return rangeSelectivity(n, t)
+		}
+	}
+	return defaultSelectivity
+}
+
+// rangeSelectivity interpolates a comparison between a sketched column and
+// a constant over the column's [min, max] range, assuming uniformity (the
+// standard System R estimate). Non-resolvable shapes default.
+func rangeSelectivity(b *expr.Binary, t *Table) float64 {
+	col, colOK := sketchCol(b.L, t)
+	lit, litOK := literalValue(b.R)
+	op := b.Op
+	if !colOK || !litOK {
+		// Try the flipped orientation: literal op column.
+		col, colOK = sketchCol(b.R, t)
+		lit, litOK = literalValue(b.L)
+		if !colOK || !litOK {
+			return defaultSelectivity
+		}
+		switch op {
+		case expr.OpLt:
+			op = expr.OpGt
+		case expr.OpLeq:
+			op = expr.OpGeq
+		case expr.OpGt:
+			op = expr.OpLt
+		case expr.OpGeq:
+			op = expr.OpLeq
+		}
+	}
+	if !col.Numeric {
+		return defaultSelectivity
+	}
+	span := col.Max - col.Min
+	if span <= 0 || math.IsInf(span, 0) || math.IsNaN(span) {
+		return defaultSelectivity
+	}
+	frac := (lit - col.Min) / span
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	keep := 1 - col.NullFraction // NULL comparisons never pass a WHERE
+	switch op {
+	case expr.OpLt, expr.OpLeq:
+		return frac * keep
+	default: // OpGt, OpGeq
+		return (1 - frac) * keep
+	}
+}
+
+// sketchCol resolves an expression to the sketch of the column it
+// references (through aliases), ok=false for anything but a bound ref.
+func sketchCol(e expr.Expr, t *Table) (Column, bool) {
+	if t == nil {
+		return Column{}, false
+	}
+	for {
+		a, ok := e.(*expr.Alias)
+		if !ok {
+			break
+		}
+		e = a.Child
+	}
+	ref, ok := e.(*expr.BoundRef)
+	if !ok || ref.Index < 0 || ref.Index >= len(t.Cols) {
+		return Column{}, false
+	}
+	return t.Cols[ref.Index], true
+}
+
+// literalValue resolves a numeric literal (through unary minus).
+func literalValue(e expr.Expr) (float64, bool) {
+	neg := false
+	for {
+		if n, ok := e.(*expr.Negate); ok {
+			neg = !neg
+			e = n.Child
+			continue
+		}
+		if a, ok := e.(*expr.Alias); ok {
+			e = a.Child
+			continue
+		}
+		break
+	}
+	lit, ok := e.(*expr.Literal)
+	if !ok || !lit.Value.IsNumeric() {
+		return 0, false
+	}
+	v := lit.Value.AsFloat()
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// PredicateNodes counts the evaluation-bearing nodes of a predicate —
+// comparisons, arithmetic, boolean connectives, null tests — the unit the
+// per-row evaluation cost constants below are expressed in.
+func PredicateNodes(e expr.Expr) int {
+	n := 0
+	expr.Walk(e, func(sub expr.Expr) {
+		switch sub.(type) {
+		case *expr.Binary, *expr.Not, *expr.IsNull, *expr.Negate:
+			n++
+		}
+	})
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Per-row evaluation costs in units of "one decoded column touch": the
+// boxed row loop pays Value boxing and interface dispatch per predicate
+// node, the vectorized engine amortizes the dispatch over the whole
+// column. The ratios are coarse by design; only the crossover matters.
+const (
+	boxedPredCost = 2.0
+	vecPredCost   = 0.25
+)
+
+// GateDecodeAtScan decides whether a fused stage should decode its batch
+// at the source. width is the number of dense columns the decode
+// materializes, predNodes the filter cost in predicate nodes, sel the
+// estimated filter selectivity, and vectorizable whether the filters would
+// actually run on the vectorized engine after an eager decode.
+//
+//	eager (decode at scan):  width + filters at vectorized cost
+//	lazy  (decode after):    filters at boxed cost + sel × width
+//
+// Eager wins when the filter keeps enough rows that the decode is paid
+// either way; lazy wins when a selective filter would make the stage
+// decode mostly-discarded rows (the correlated-workload gap).
+func GateDecodeAtScan(sel float64, width, predNodes int, vectorizable bool) bool {
+	if width <= 0 {
+		return true
+	}
+	eager := float64(width)
+	if vectorizable {
+		eager += float64(predNodes) * vecPredCost
+	} else {
+		// Filters refuse vectorization: eager decoding still pays the boxed
+		// loop on every row, so it can only lose.
+		eager += float64(predNodes) * boxedPredCost
+	}
+	lazy := float64(predNodes)*boxedPredCost + sel*float64(width)
+	return eager <= lazy
+}
+
+// MinPartitionRows is the smallest partition an adaptive exchange will
+// schedule as its own task: below it the per-task overhead (Spark pays
+// milliseconds per task; the harness models 1ms) dominates the work.
+const MinPartitionRows = 2048
+
+// ExchangeTarget picks the adaptive rows-per-partition target for an
+// exchange observing rows upstream rows under the given executor count:
+// an even split across the executors, floored at MinPartitionRows. Large
+// inputs keep every executor busy (ceil(rows/target) == executors); tiny
+// intermediates collapse into the few tasks that amortize their overhead.
+func ExchangeTarget(rows, executors int) int {
+	if executors < 1 {
+		executors = 1
+	}
+	per := (rows + executors - 1) / executors
+	if per < MinPartitionRows {
+		per = MinPartitionRows
+	}
+	return per
+}

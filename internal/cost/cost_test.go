@@ -1,0 +1,168 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"skysql/internal/expr"
+	"skysql/internal/types"
+)
+
+func sketchOf(t *testing.T, data [][]float64, nullAt map[[2]int]bool) *Table {
+	t.Helper()
+	rows := make([]types.Row, len(data))
+	width := 0
+	for i, d := range data {
+		row := make(types.Row, len(d))
+		for j, v := range d {
+			if nullAt[[2]int{i, j}] {
+				row[j] = types.Null
+			} else {
+				row[j] = types.Float(v)
+			}
+		}
+		rows[i] = row
+		width = len(d)
+	}
+	return Sketch(rows, width)
+}
+
+func TestSketchRangesAndNulls(t *testing.T) {
+	s := sketchOf(t, [][]float64{{1, 10}, {5, 20}, {9, 0}, {3, 0}},
+		map[[2]int]bool{{2, 1}: true, {3, 1}: true})
+	if s.Rows != 4 {
+		t.Fatalf("rows = %d", s.Rows)
+	}
+	c0 := s.Cols[0]
+	if !c0.Numeric || c0.Min != 1 || c0.Max != 9 || c0.NullFraction != 0 {
+		t.Errorf("col 0 sketch = %+v", c0)
+	}
+	c1 := s.Cols[1]
+	if !c1.Numeric || c1.Min != 10 || c1.Max != 20 || c1.NullFraction != 0.5 {
+		t.Errorf("col 1 sketch = %+v", c1)
+	}
+}
+
+func TestSketchNonNumericColumn(t *testing.T) {
+	rows := []types.Row{
+		{types.Str("a"), types.Int(1)},
+		{types.Str("b"), types.Int(2)},
+	}
+	s := Sketch(rows, 2)
+	if s.Cols[0].Numeric {
+		t.Error("string column must not sketch as numeric")
+	}
+	if !s.Cols[1].Numeric {
+		t.Error("int column must sketch as numeric")
+	}
+}
+
+func fref(i int) *expr.BoundRef { return expr.NewBoundRef(i, "c", types.KindFloat, false) }
+
+func lit(v float64) expr.Expr { return expr.NewLiteral(types.Float(v)) }
+
+func TestSelectivityRangeInterpolation(t *testing.T) {
+	// Column 0 uniform over [0, 100].
+	s := &Table{Rows: 100, Cols: []Column{{Min: 0, Max: 100, Numeric: true}}}
+	cases := []struct {
+		e    expr.Expr
+		want float64
+	}{
+		{expr.NewBinary(expr.OpLt, fref(0), lit(25)), 0.25},
+		{expr.NewBinary(expr.OpGt, fref(0), lit(25)), 0.75},
+		{expr.NewBinary(expr.OpLeq, fref(0), lit(100)), 1},
+		{expr.NewBinary(expr.OpGeq, fref(0), lit(200)), minSelectivity}, // clamped
+		{expr.NewBinary(expr.OpLt, lit(25), fref(0)), 0.75},             // flipped orientation
+		{expr.NewBinary(expr.OpEq, fref(0), lit(3)), eqSelectivity},
+		{expr.NewNot(expr.NewBinary(expr.OpLt, fref(0), lit(25))), 0.75},
+		{expr.NewBinary(expr.OpAnd,
+			expr.NewBinary(expr.OpLt, fref(0), lit(50)),
+			expr.NewBinary(expr.OpGt, fref(0), lit(25))), 0.375},
+		{expr.NewBinary(expr.OpOr,
+			expr.NewBinary(expr.OpLt, fref(0), lit(25)),
+			expr.NewBinary(expr.OpGt, fref(0), lit(75))), 0.4375},
+	}
+	for _, c := range cases {
+		if got := Selectivity(c.e, s); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Selectivity(%s) = %v, want %v", c.e.String(), got, c.want)
+		}
+	}
+}
+
+func TestSelectivityNullFractionAndDefaults(t *testing.T) {
+	s := &Table{Rows: 10, Cols: []Column{{Min: 0, Max: 10, NullFraction: 0.3, Numeric: true}}}
+	if got := Selectivity(expr.NewIsNull(fref(0), false), s); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("IS NULL = %v", got)
+	}
+	if got := Selectivity(expr.NewIsNull(fref(0), true), s); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("IS NOT NULL = %v", got)
+	}
+	// NULL rows never pass a range predicate: the interpolation scales by
+	// the non-null fraction.
+	if got := Selectivity(expr.NewBinary(expr.OpLt, fref(0), lit(5)), s); math.Abs(got-0.35) > 1e-9 {
+		t.Errorf("range over nullable column = %v, want 0.35", got)
+	}
+	// No sketch: everything defaults.
+	if got := Selectivity(expr.NewBinary(expr.OpLt, fref(0), lit(5)), nil); got != defaultSelectivity {
+		t.Errorf("nil sketch = %v, want default", got)
+	}
+	// Column-vs-column comparisons default too.
+	if got := Selectivity(expr.NewBinary(expr.OpLt, fref(0), fref(0)), s); got != defaultSelectivity {
+		t.Errorf("col-vs-col = %v, want default", got)
+	}
+}
+
+func TestGateDecodeAtScanCrossover(t *testing.T) {
+	// width 4, one predicate node, vectorizable: eager = 4.25,
+	// lazy = 2 + 4·sel — crossover at sel = 0.5625.
+	if GateDecodeAtScan(0.25, 4, 1, true) {
+		t.Error("selective filter must defer the decode")
+	}
+	if !GateDecodeAtScan(0.75, 4, 1, true) {
+		t.Error("non-selective filter must keep decode-at-scan")
+	}
+	// Non-vectorizable filters pay the boxed loop either way: eager can
+	// only lose while the filter discards anything.
+	if GateDecodeAtScan(0.75, 4, 1, false) {
+		t.Error("non-vectorizable filter must defer under selectivity < 1")
+	}
+	if !GateDecodeAtScan(1, 4, 1, false) {
+		t.Error("a keep-everything filter must not defer")
+	}
+	// Degenerate width decodes nothing worth gating.
+	if !GateDecodeAtScan(0.01, 0, 1, true) {
+		t.Error("zero-width decode must not defer")
+	}
+}
+
+func TestExchangeTarget(t *testing.T) {
+	// Tiny inputs floor at MinPartitionRows (collapse to one partition).
+	if got := ExchangeTarget(100, 8); got != MinPartitionRows {
+		t.Errorf("ExchangeTarget(100, 8) = %d", got)
+	}
+	// Large inputs split evenly across the executors.
+	if got := ExchangeTarget(1<<20, 8); got != 1<<17 {
+		t.Errorf("ExchangeTarget(1M, 8) = %d", got)
+	}
+	// The derived partition count keeps every executor busy on large input.
+	rows := 1 << 20
+	target := ExchangeTarget(rows, 8)
+	if parts := (rows + target - 1) / target; parts != 8 {
+		t.Errorf("large-input partitions = %d, want 8", parts)
+	}
+	if got := ExchangeTarget(10, 0); got != MinPartitionRows {
+		t.Errorf("ExchangeTarget(10, 0) = %d", got)
+	}
+}
+
+func TestPredicateNodes(t *testing.T) {
+	if got := PredicateNodes(fref(0)); got != 1 {
+		t.Errorf("bare ref = %d, want floor 1", got)
+	}
+	e := expr.NewBinary(expr.OpAnd,
+		expr.NewBinary(expr.OpLt, fref(0), lit(1)),
+		expr.NewNot(expr.NewIsNull(fref(1), false)))
+	if got := PredicateNodes(e); got != 4 {
+		t.Errorf("compound predicate = %d, want 4", got)
+	}
+}

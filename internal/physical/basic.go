@@ -3,9 +3,11 @@ package physical
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"skysql/internal/catalog"
 	"skysql/internal/cluster"
+	"skysql/internal/cost"
 	"skysql/internal/expr"
 	"skysql/internal/skyline"
 	"skysql/internal/types"
@@ -16,6 +18,10 @@ import (
 type ScanExec struct {
 	Table  *catalog.Table
 	schema *types.Schema
+
+	sketchMu   sync.Mutex
+	sketch     *cost.Table
+	sketchRows int
 }
 
 // NewScanExec creates a table scan with the given (qualified) schema.
@@ -27,6 +33,21 @@ func (s *ScanExec) Schema() *types.Schema { return s.schema }
 func (s *ScanExec) Children() []Operator  { return nil }
 func (s *ScanExec) String() string {
 	return fmt.Sprintf("ScanExec %s (%d rows)", s.Table.Name, len(s.Table.Rows))
+}
+
+// Sketch returns the column sketches of the scanned table — the
+// cardinality/selectivity input of the cost model — computed once per scan
+// (a single cheap pass, a fraction of the decode the sketch gates) and
+// recomputed when the table's row count changed between executions, so a
+// re-run plan over a grown table does not decide off a stale sketch.
+func (s *ScanExec) Sketch() *cost.Table {
+	s.sketchMu.Lock()
+	defer s.sketchMu.Unlock()
+	if s.sketch == nil || s.sketchRows != len(s.Table.Rows) {
+		s.sketch = cost.Sketch(s.Table.Rows, s.schema.Len())
+		s.sketchRows = len(s.Table.Rows)
+	}
+	return s.sketch
 }
 
 func (s *ScanExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
@@ -522,8 +543,10 @@ func (e *ExchangeExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 			if cols, ok, cerr := e.executeColumnar(ctx, in); cerr != nil {
 				return nil, cerr
 			} else if ok {
+				e.recordBucketing(ctx, in, "columnar")
 				return cols, nil
 			}
+			e.recordBucketing(ctx, in, "boxed")
 		}
 		out, err = ctx.ExchangePartitioned(in, e.Dist, key, e.Minimize)
 	} else {
@@ -533,6 +556,15 @@ func (e *ExchangeExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// recordBucketing notes whether the partitioned exchange served its bucket
+// computation from decoded columns or fell back to boxed key extraction.
+func (e *ExchangeExec) recordBucketing(ctx *cluster.Context, in *cluster.Dataset, choice string) {
+	ctx.Metrics.AddCostDecision(cluster.CostDecision{
+		Site: "exchange-bucketing", Choice: choice, Rows: in.NumRows(), Selectivity: -1,
+		Detail: e.Dist.String(),
+	})
 }
 
 // executeColumnar buckets the Grid/Angle/Zorder exchange on decoded batch

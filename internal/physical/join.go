@@ -161,6 +161,17 @@ func (n *NestedLoopJoinExec) String() string {
 }
 
 func (n *NestedLoopJoinExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	return n.ExecuteFused(ctx, nil)
+}
+
+// ExecuteFused implements StageSource, mirroring HashJoinExec: the
+// broadcast right side is a barrier, but the left-side probe loop is a
+// narrow per-partition pass, so the fused tail of the stage above runs
+// inside the probe's task round — a filter or projection over the join
+// output costs no extra round and no intermediate materialization. Probe
+// output rows are freshly combined, so no sidecar reaches the tail. A nil
+// tail reproduces the plain probe exactly.
+func (n *NestedLoopJoinExec) ExecuteFused(ctx *cluster.Context, tail ColumnarPartitionFn) (*cluster.Dataset, error) {
 	left, err := n.Left.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -172,13 +183,13 @@ func (n *NestedLoopJoinExec) Execute(ctx *cluster.Context) (*cluster.Dataset, er
 	rightRows := right.Gather()
 	ctx.Metrics.AddShuffled(int64(len(rightRows)) * int64(ctx.Executors)) // broadcast cost
 	rightWidth := n.Right.Schema().Len()
-	out, err := ctx.MapPartitions(left, func(_ int, part []types.Row) ([]types.Row, error) {
+	out, err := ctx.MapPartitionsColumnar(left, func(pi int, part []types.Row, _ *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
 		var res []types.Row
 		scratch := make(types.Row, 0, 64)
 		for li, lrow := range part {
 			if li%256 == 0 {
 				if err := ctx.CheckCanceled(); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 			matched := false
@@ -190,7 +201,7 @@ func (n *NestedLoopJoinExec) Execute(ctx *cluster.Context) (*cluster.Dataset, er
 					var err error
 					pass, err = expr.EvalPredicate(n.Cond, scratch)
 					if err != nil {
-						return nil, err
+						return nil, nil, err
 					}
 				}
 				if !pass {
@@ -222,7 +233,10 @@ func (n *NestedLoopJoinExec) Execute(ctx *cluster.Context) (*cluster.Dataset, er
 				}
 			}
 		}
-		return res, nil
+		if tail != nil {
+			return tail(pi, res, nil)
+		}
+		return res, nil, nil
 	})
 	if err != nil {
 		return nil, err

@@ -79,6 +79,20 @@ type PipelineExec struct {
 	Ops []NarrowOperator
 	// Source feeds the stage: a scan, an exchange, or another breaker.
 	Source Operator
+	// Sink, when set, names the columnar consumer directly above the stage
+	// (a Grid/Angle/Zorder exchange bucketing on skyline dimensions): the
+	// stage may then decode at the source even without a local skyline in
+	// the chain, so its filters run vectorized and the exchange reuses the
+	// sidecar instead of extracting boxed keys row by row.
+	Sink *DecodeSink
+}
+
+// DecodeSink describes the columnar consumer above a fused stage: the
+// skyline dimensions it buckets on (bound to the stage output schema) and
+// the sidecar tag it will accept.
+type DecodeSink struct {
+	Dims []BoundDim
+	Tag  string
 }
 
 func (p *PipelineExec) Schema() *types.Schema { return p.Ops[len(p.Ops)-1].Schema() }
@@ -119,7 +133,10 @@ func (p *PipelineExec) tailFn(ctx *cluster.Context) ColumnarPartitionFn {
 	}
 	var spec *stageDecode
 	if ctx.DecodeAtScan {
-		spec = planStageDecode(p.Ops)
+		spec = planStageDecode(p.Ops, p.Sink)
+		if spec != nil && !ctx.DisableCostGate {
+			spec = gateStageDecode(ctx, spec, p.Source)
+		}
 	}
 	var stats *skyline.Stats
 	if ctx.Metrics != nil {
@@ -260,6 +277,19 @@ func CompileStages(root Operator) Operator {
 	case *ExchangeExec:
 		cp := *o
 		cp.Child = CompileStages(o.Child)
+		// A partitioned exchange bucketing on skyline dimensions is a
+		// columnar consumer: mark the fused stage below it as feeding a
+		// decode sink, so a scan → filter chain under the exchange decodes
+		// at the source (filters vectorize, the exchange reuses the
+		// sidecar) instead of forcing the boxed key path.
+		if (o.Dist == cluster.Grid || o.Dist == cluster.Angle || o.Dist == cluster.Zorder) &&
+			len(o.SkyDims) > 0 && !o.DisableKernel {
+			if pipe, ok := cp.Child.(*PipelineExec); ok {
+				pc := *pipe
+				pc.Sink = &DecodeSink{Dims: o.SkyDims, Tag: skyTag(o.SkyDims, false)}
+				cp.Child = &pc
+			}
+		}
 		return &cp
 	case *SortExec:
 		cp := *o

@@ -19,9 +19,11 @@ package physical
 //     whole narrow chain is decode-once.
 
 import (
+	"fmt"
 	"sort"
 
 	"skysql/internal/cluster"
+	"skysql/internal/cost"
 	"skysql/internal/expr"
 	"skysql/internal/skyline"
 	"skysql/internal/types"
@@ -89,6 +91,15 @@ type stageDecode struct {
 	// non-dimension column (WHERE c < 25 over a skyline of a, b) still
 	// vectorizes.
 	extra []int
+	// filters are the chain's filter predicates rebased onto the source
+	// schema, feeding the decode-at-scan cost gate.
+	filters []stageFilter
+}
+
+// stageFilter is one filter of the fused chain, rebased for the gate.
+type stageFilter struct {
+	cond          expr.Expr
+	disableVector bool
 }
 
 type colBind struct {
@@ -96,13 +107,30 @@ type colBind struct {
 	negated  bool
 }
 
+// width is the number of dense columns the decode materializes — the
+// numeric dimensions plus the extra referenced columns — i.e. the per-row
+// decode cost in column touches.
+func (s *stageDecode) width() int {
+	n := len(s.extra)
+	for _, d := range s.dirs {
+		if d != skyline.Diff {
+			n++
+		}
+	}
+	return n
+}
+
 // planStageDecode inspects a fused chain (execution order) and returns the
 // decode-at-source spec, or nil when the stage cannot (or need not) start
-// columnar: no local skyline in the chain, the kernel is disabled on it, an
-// unknown narrow operator intervenes, or nothing at all runs between the
-// source and the skyline (the skyline's own decode is already the stage
-// entry in that case).
-func planStageDecode(ops []NarrowOperator) *stageDecode {
+// columnar: no decode target (neither a local skyline in the chain nor a
+// columnar sink above it), the kernel is disabled, an unknown narrow
+// operator intervenes, or nothing at all runs between the source and the
+// skyline (the skyline's own decode is already the stage entry in that
+// case). A sink target (a partitioned exchange above the stage) is used
+// only when the chain holds at least one filter or projection — otherwise
+// the exchange's own decode is already optimal — and never for DIFF
+// dimensions, which the columnar bucketing refuses anyway.
+func planStageDecode(ops []NarrowOperator, sink *DecodeSink) *stageDecode {
 	// subst maps the current ordinal space back onto source-schema
 	// expressions; nil means identity.
 	var subst []expr.Expr
@@ -110,6 +138,8 @@ func planStageDecode(ops []NarrowOperator) *stageDecode {
 	// so non-dimension columns a vectorizable predicate needs are decoded
 	// alongside the dimensions.
 	refs := make(map[int]bool)
+	var filters []stageFilter
+	hasWork := false
 	// KindNull-typed refs are included: expr.CanVectorize resolves those
 	// against the schema field type, so a numeric column behind one still
 	// vectorizes — and extractColumn validates the values either way.
@@ -121,11 +151,44 @@ func planStageDecode(ops []NarrowOperator) *stageDecode {
 			}
 		})
 	}
+	// finish assembles the spec for the decode target's dimensions (bound
+	// to the current ordinal space) under the target's own sidecar tag.
+	finish := func(dims []BoundDim, incomplete bool, tag string) *stageDecode {
+		spec := &stageDecode{
+			dims:       make([]BoundDim, len(dims)),
+			dirs:       dirsOf(dims),
+			incomplete: incomplete,
+			tag:        tag,
+			filters:    filters,
+		}
+		bound := make(map[int]bool)
+		numCol := 0
+		for d, bd := range dims {
+			e := rebaseThrough(bd.E, subst)
+			spec.dims[d] = BoundDim{E: e, Dir: bd.Dir}
+			if bd.Dir != skyline.Diff {
+				if ref, ok := stripAlias(e).(*expr.BoundRef); ok && !bound[ref.Index] {
+					spec.binds = append(spec.binds, colBind{ord: ref.Index, dim: numCol, negated: bd.Dir == skyline.Max})
+					bound[ref.Index] = true
+				}
+				numCol++
+			}
+		}
+		for ord := range refs {
+			if !bound[ord] {
+				spec.extra = append(spec.extra, ord)
+			}
+		}
+		sort.Ints(spec.extra)
+		return spec
+	}
 	for i, op := range ops {
 		switch o := op.(type) {
 		case *LocalLimitExec:
 			// Row-preserving, expression-free.
 		case *FilterExec:
+			filters = append(filters, stageFilter{cond: rebaseThrough(o.Cond, subst), disableVector: o.DisableVector})
+			hasWork = true
 			if !o.DisableVector {
 				addRefs(o.Cond, subst)
 			}
@@ -138,41 +201,68 @@ func planStageDecode(ops []NarrowOperator) *stageDecode {
 				}
 			}
 			subst = next
+			hasWork = true
 		case *LocalSkylineExec:
 			if o.DisableKernel || i == 0 {
 				return nil
 			}
-			spec := &stageDecode{
-				dims:       make([]BoundDim, len(o.Dims)),
-				dirs:       dirsOf(o.Dims),
-				incomplete: o.Incomplete,
-				tag:        skyTag(o.Dims, o.Incomplete),
-			}
-			bound := make(map[int]bool)
-			numCol := 0
-			for d, bd := range o.Dims {
-				e := rebaseThrough(bd.E, subst)
-				spec.dims[d] = BoundDim{E: e, Dir: bd.Dir}
-				if bd.Dir != skyline.Diff {
-					if ref, ok := stripAlias(e).(*expr.BoundRef); ok && !bound[ref.Index] {
-						spec.binds = append(spec.binds, colBind{ord: ref.Index, dim: numCol, negated: bd.Dir == skyline.Max})
-						bound[ref.Index] = true
-					}
-					numCol++
-				}
-			}
-			for ord := range refs {
-				if !bound[ord] {
-					spec.extra = append(spec.extra, ord)
-				}
-			}
-			sort.Ints(spec.extra)
-			return spec
+			return finish(o.Dims, o.Incomplete, skyTag(o.Dims, o.Incomplete))
 		default:
 			return nil
 		}
 	}
-	return nil
+	if sink == nil || !hasWork {
+		return nil
+	}
+	for _, d := range sink.Dims {
+		if d.Dir == skyline.Diff {
+			return nil
+		}
+	}
+	return finish(sink.Dims, false, sink.Tag)
+}
+
+// gateStageDecode applies the cost model to a decode-at-source spec: with
+// filters in the chain and a sketchable source, deferring the decode past
+// a selective filter can beat decoding every pre-filter row. Returns nil
+// to defer (the local skyline or the exchange then decodes the survivors,
+// exactly as before decode-at-scan existed); results are bit-identical
+// either way. The decision is recorded in Metrics.CostDecisions.
+func gateStageDecode(ctx *cluster.Context, spec *stageDecode, source Operator) *stageDecode {
+	if len(spec.filters) == 0 {
+		// Nothing between the source and the decode target discards rows:
+		// the eager decode is the target's own decode, merely moved.
+		return spec
+	}
+	scan, ok := source.(*ScanExec)
+	if !ok {
+		return spec
+	}
+	sketch := scan.Sketch()
+	sel := 1.0
+	nodes := 0
+	vectorizable := true
+	for _, f := range spec.filters {
+		sel *= cost.Selectivity(f.cond, sketch)
+		nodes += cost.PredicateNodes(f.cond)
+		if f.disableVector || !expr.CanVectorize(f.cond, scan.Schema()) {
+			vectorizable = false
+		}
+	}
+	width := spec.width()
+	decode := cost.GateDecodeAtScan(sel, width, nodes, vectorizable)
+	choice := "decode"
+	if !decode {
+		choice = "defer"
+	}
+	ctx.Metrics.AddCostDecision(cluster.CostDecision{
+		Site: "decode-at-scan", Choice: choice, Rows: sketch.Rows, Selectivity: sel,
+		Detail: fmt.Sprintf("width=%d, filter nodes=%d, vectorizable=%v", width, nodes, vectorizable),
+	})
+	if !decode {
+		return nil
+	}
+	return spec
 }
 
 // rebaseThrough substitutes bound references through a projection mapping

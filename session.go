@@ -23,6 +23,7 @@ type Session struct {
 	noVector     bool
 	zorderSFS    bool
 	adaptiveRows int
+	noAdaptive   bool
 }
 
 // Option configures a session.
@@ -103,18 +104,33 @@ func WithZorderSFSPresort() Option {
 	return func(s *Session) { s.zorderSFS = true }
 }
 
-// WithAdaptiveExchange makes exchanges adaptive (AQE-style): the
-// post-exchange partition count is derived from the observed upstream
-// output size — ceil(rows/targetRows), clamped to the executor count —
-// instead of always fanning out to the static executor count, so tiny
-// intermediate results collapse into fewer tasks. targetRows <= 0 keeps
-// the static behaviour (the default).
+// WithAdaptiveExchange overrides the cost-chosen rows-per-partition target
+// of adaptive exchanges (AQE-style): the post-exchange partition count is
+// derived from the observed upstream output size — ceil(rows/targetRows),
+// clamped to the executor count — so tiny intermediate results collapse
+// into fewer tasks. Adaptive exchanges are on by default with a target the
+// cost model picks per exchange from the observed size and the executor
+// count; this option pins one explicit target instead. targetRows <= 0
+// keeps the static executor-count fan-out, exactly as it did before
+// adaptivity became the default (WithoutAdaptiveExchange spells the same
+// thing out).
 func WithAdaptiveExchange(targetRows int) Option {
 	return func(s *Session) {
 		if targetRows > 0 {
 			s.adaptiveRows = targetRows
+			s.noAdaptive = false // last-wins over WithoutAdaptiveExchange
+		} else {
+			s.noAdaptive = true
 		}
 	}
+}
+
+// WithoutAdaptiveExchange disables adaptive post-exchange partitioning:
+// every exchange then fans out to the static executor count, the pre-cost-
+// model behaviour. Results are identical as sets; the switch exists for
+// A/B ablation of the adaptivity, mirroring WithoutColumnarKernel.
+func WithoutAdaptiveExchange() Option {
+	return func(s *Session) { s.noAdaptive = true }
 }
 
 // NewSession creates a session with an empty catalog.
@@ -231,7 +247,11 @@ func (s *Session) RewriteSkyline(query string, incomplete bool) (string, error) 
 func (s *Session) run(c *core.Compiled) (*core.Result, error) {
 	ctx := cluster.NewContext(s.executors)
 	ctx.Simulate = s.simulate
+	ctx.AdaptiveExchange = !s.noAdaptive
 	ctx.TargetRowsPerPartition = s.adaptiveRows
+	if s.noAdaptive {
+		ctx.TargetRowsPerPartition = 0
+	}
 	ctx.DecodeAtScan = !s.noVector && !s.noKernel
 	return s.engine.RunCtx(c, ctx)
 }

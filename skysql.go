@@ -75,6 +75,41 @@
 // run, the shell's \s, and skybench -json); WithoutVectorizedExprs forces
 // the boxed path everywhere for A/B ablation, mirroring
 // WithoutColumnarKernel.
+//
+// # Cost-gated adaptive planning
+//
+// The levers above are no longer static: a light-weight cost model
+// (internal/cost) — column min/max/null-fraction sketches computed once
+// per scan plus textbook predicate-shape heuristics — drives three
+// decisions the engine used to hardcode.
+//
+// First, decode-at-scan is gated per fused stage: eager decoding pays the
+// decode width on every pre-filter row to run the filters vectorized,
+// deferring pays the boxed filter but decodes only the survivors, and the
+// gate picks whichever the estimated filter selectivity × decode width
+// says is cheaper (selective filters defer; permissive ones decode).
+// Second, exchanges are adaptive by default: each exchange derives its
+// rows-per-partition target from the observed upstream size and the
+// executor count, so tiny intermediates collapse into the few tasks that
+// amortize their scheduling overhead while large inputs still fan out to
+// every executor; WithAdaptiveExchange pins one explicit target instead,
+// WithoutAdaptiveExchange restores the static fan-out for A/B. Third, the
+// Grid/Angle/Zorder exchanges accept a sidecar decoded at the scan below
+// them, so a filter under a partitioned exchange vectorizes instead of
+// forcing the boxed key path, and the exchange buckets on the decoded
+// columns it is handed.
+//
+// The fallback rules mirror the vectorization contract: every gated
+// choice selects between execution strategies that are bit-identical by
+// construction (contract-tested across every SkylineStrategy × fusion ×
+// kernel × vectorization ablation), so a wrong estimate costs time, never
+// correctness — and when the model cannot see (no scan below the stage,
+// no filters, no sketchable columns) the engine simply keeps the
+// pre-gate behaviour. Every decision is recorded in
+// Metrics.CostDecisions, surfaced by EXPLAIN after a run, the shell's \s,
+// and skybench -json; `skybench -experiment costgate` measures the gate
+// (BENCH_PR5.json), and CI's benchdiff gates the deterministic counters
+// of the whole BENCH_*.json trajectory against the committed baselines.
 package skysql
 
 import (
