@@ -42,14 +42,18 @@ var counters = []counter{
 	{"vectorized_batches", func(r bench.Record) int64 { return r.VectorizedBatches }, false},
 	{"rows_shuffled", func(r bench.Record) int64 { return r.RowsShuffled }, true},
 	{"peak_bytes", func(r bench.Record) int64 { return r.PeakBytes }, true},
+	// morsels_executed is deterministic (it depends only on the partition
+	// layout and the executor count); steals and achieved_parallelism are
+	// timing-dependent and stay informational.
+	{"morsels_executed", func(r bench.Record) int64 { return r.MorselsExecuted }, true},
 }
 
 // identity is the matching key of a record: every field that names the
 // measured configuration, none that measures.
 func identity(r bench.Record) string {
-	s := fmt.Sprintf("%s|%s|complete=%v|%s|dims=%d|tuples=%d|exec=%d|kernel=%v|vec=%v|target=%d|aqe=%v|gate=%v",
+	s := fmt.Sprintf("%s|%s|complete=%v|%s|dims=%d|tuples=%d|exec=%d|kernel=%v|vec=%v|target=%d|aqe=%v|gate=%v|morsel=%v",
 		r.Experiment, r.Dataset, r.Complete, r.Algorithm, r.Dimensions, r.Tuples, r.Executors,
-		r.ColumnarKernel, r.VectorizedExprs, r.AdaptiveTargetRows, r.AdaptiveExchange, r.CostGate)
+		r.ColumnarKernel, r.VectorizedExprs, r.AdaptiveTargetRows, r.AdaptiveExchange, r.CostGate, r.MorselParallel)
 	if r.Variant != "" {
 		s += "|" + r.Variant
 	}

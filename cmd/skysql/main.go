@@ -116,6 +116,9 @@ func execute(sess *skysql.Session, query string, explain, showStages bool) error
 			}
 			fmt.Printf("batches decoded: %d\n", m.BatchesDecoded())
 			fmt.Printf("vectorized batches: %d\n", m.VectorizedBatches())
+			if ms := m.FormatMorsels(); ms != "" {
+				fmt.Print(ms)
+			}
 			if ds := m.FormatCostDecisions(); ds != "" {
 				fmt.Print("cost decisions:\n" + ds)
 			}

@@ -335,6 +335,9 @@ func (df *DataFrame) Explain() (string, error) {
 		}
 		out += fmt.Sprintf("batches decoded: %d\n", df.metrics.BatchesDecoded())
 		out += fmt.Sprintf("vectorized batches: %d\n", df.metrics.VectorizedBatches())
+		if ms := df.metrics.FormatMorsels(); ms != "" {
+			out += ms
+		}
 		if ds := df.metrics.FormatCostDecisions(); ds != "" {
 			out += "cost decisions:\n" + ds
 		}

@@ -23,6 +23,7 @@ import (
 	"skysql/internal/datagen"
 	"skysql/internal/expr"
 	"skysql/internal/physical"
+	"skysql/internal/types"
 )
 
 // Config scales and parameterizes the harness.
@@ -90,6 +91,11 @@ type Spec struct {
 	// shapes over otherwise identical specs (e.g. the filter cut of the
 	// vectorized/costgate sweeps), so benchdiff matches like with like.
 	Variant string
+	// MorselParallel enables morsel-granular task splitting and the
+	// parallel global-skyline kernel for this run
+	// (cluster.Context.MorselParallel); part of a record's identity in
+	// benchdiff, since it changes the task decomposition.
+	MorselParallel bool
 }
 
 // Measurement is the outcome of one run.
@@ -122,9 +128,18 @@ type Measurement struct {
 	// CostDecisions renders the cost-model decisions of the run, in
 	// execution order (empty when the model decided nothing).
 	CostDecisions []string
-	ResultRows    int
-	TimedOut      bool
-	Err           error
+	// MorselsExecuted counts morsel-granular tasks scheduled by the run
+	// (zero when MorselParallel is off — whole partitions are not counted).
+	MorselsExecuted int64
+	// Steals counts tasks executed by a worker other than their home
+	// worker. Informational: depends on measured task durations.
+	Steals int64
+	// AchievedParallelism is busy-time / wall-time over the parallel
+	// morsel rounds (0 when none ran). Informational.
+	AchievedParallelism float64
+	ResultRows          int
+	TimedOut            bool
+	Err                 error
 }
 
 // Seconds returns the runtime in seconds (for chart-style output).
@@ -185,6 +200,16 @@ func (c Config) buildWorkload(spec Spec) (*workload, error) {
 		cat.Register(mb.Meta)
 		cat.Register(mb.Tracks)
 		return c.buildMusicBrainzWorkload(cat, mb, spec)
+	case "synthetic_correlated", "synthetic_independent", "synthetic_anti-correlated", "synthetic_skewed":
+		t, err := c.syntheticTable(spec)
+		if err != nil {
+			return nil, err
+		}
+		cat.Register(t)
+		table = t.Name
+		for d := 1; d <= spec.Dimensions; d++ {
+			dims = append(dims, datagen.Dim{Col: fmt.Sprintf("d%d", d), Dir: "MIN"})
+		}
 	default:
 		return nil, fmt.Errorf("bench: unknown dataset %q", spec.Dataset)
 	}
@@ -230,6 +255,37 @@ func (c Config) buildMusicBrainzWorkload(cat *catalog.Catalog, mb *datagen.Music
 	return &workload{cat: cat, query: sky.String(), refQuery: ref}, nil
 }
 
+// syntheticTable builds the synthetic tables of the ablation and parallel
+// experiments from the spec's dataset name. "synthetic_skewed" is a
+// mixture — about 70% correlated rows followed by 30% anti-correlated
+// rows in one table — so contiguous range partitioning produces one
+// hot partition (the anti-correlated tail, whose local skyline is orders
+// of magnitude more work) among cheap ones: the skew case where morsel
+// stealing beats whole-partition scheduling.
+func (c Config) syntheticTable(spec Spec) (*catalog.Table, error) {
+	gen := datagen.Config{Seed: c.Seed, Complete: spec.Complete, NullFraction: 0.08}
+	switch spec.Dataset {
+	case "synthetic_correlated":
+		return datagen.Synthetic(datagen.Correlated, spec.Tuples, spec.Dimensions, gen), nil
+	case "synthetic_independent":
+		return datagen.Synthetic(datagen.Independent, spec.Tuples, spec.Dimensions, gen), nil
+	case "synthetic_anti-correlated":
+		return datagen.Synthetic(datagen.AntiCorrelated, spec.Tuples, spec.Dimensions, gen), nil
+	case "synthetic_skewed":
+		cold := spec.Tuples * 7 / 10
+		hot := spec.Tuples - cold
+		corr := datagen.Synthetic(datagen.Correlated, cold, spec.Dimensions, gen)
+		anti := datagen.Synthetic(datagen.AntiCorrelated, hot, spec.Dimensions, gen)
+		rows := append(append(make([]types.Row, 0, spec.Tuples), corr.Rows...), anti.Rows...)
+		for i, r := range rows {
+			// Re-number the ids so the concatenated halves stay distinct.
+			r[0] = types.Int(int64(i + 1))
+		}
+		return catalog.NewTable("t", corr.Schema, rows)
+	}
+	return nil, fmt.Errorf("bench: unknown synthetic dataset %q", spec.Dataset)
+}
+
 func dirOf(s string) expr.SkylineDir {
 	d, ok := expr.SkylineDirByName(s)
 	if !ok {
@@ -259,6 +315,9 @@ func (c Config) fill(m *Measurement, res *core.Result) {
 	for _, st := range res.Metrics.StageTimes() {
 		m.StageSeconds = append(m.StageSeconds, st.Elapsed.Seconds())
 	}
+	m.MorselsExecuted = res.Metrics.MorselsExecuted()
+	m.Steals = res.Metrics.Steals()
+	m.AchievedParallelism = res.Metrics.AchievedParallelism()
 	m.PeakModelMB = c.ExecutorOverheadMB*float64(m.Spec.Executors) + float64(m.PeakDataBytes)/1e6
 	m.ResultRows = len(res.Rows)
 }
@@ -299,6 +358,7 @@ func (c Config) run(spec Spec) Measurement {
 	ctx.AdaptiveExchange = spec.AdaptiveDefault
 	ctx.DisableCostGate = spec.NoCostGate
 	ctx.DecodeAtScan = !spec.NoVector && !spec.NoKernel
+	ctx.MorselParallel = spec.MorselParallel
 	type outcome struct {
 		res *core.Result
 		err error

@@ -41,6 +41,7 @@ func Experiments() []Experiment {
 		{"exchange", "Columnar data plane — batch sidecars across exchanges + adaptive partitioning", runExchange},
 		{"vectorized", "Vectorized expression engine — boxed vs vectorized filtered skyline plans", runVectorized},
 		{"costgate", "Cost-gated adaptive planning — decode-at-scan gate + cost-chosen adaptive exchanges", runCostGate},
+		{"parallel", "Morsel-driven parallel runtime — work-stealing morsel scheduling vs whole-partition tasks", runParallel},
 	}
 }
 

@@ -50,42 +50,58 @@ type Record struct {
 	// CostDecisions renders the cost-model decisions of the run, in
 	// execution order. Informational: benchdiff does not gate on it.
 	CostDecisions []string `json:"cost_decisions,omitempty"`
-	ResultRows    int      `json:"result_rows"`
-	TimedOut      bool     `json:"timed_out"`
-	Error         string   `json:"error,omitempty"`
+	// MorselParallel reports morsel-granular task splitting + the parallel
+	// global-skyline kernel; part of a record's identity in benchdiff.
+	MorselParallel bool `json:"morsel_parallel,omitempty"`
+	// MorselsExecuted counts morsel tasks scheduled (0 with morsel
+	// parallelism off). Deterministic — benchdiff gates on it.
+	MorselsExecuted int64 `json:"morsels_executed,omitempty"`
+	// Steals counts tasks run away from their home worker. Informational:
+	// placement depends on measured durations, so benchdiff does not gate.
+	Steals int64 `json:"steals,omitempty"`
+	// AchievedParallelism is busy/wall over the parallel morsel rounds.
+	// Informational.
+	AchievedParallelism float64 `json:"achieved_parallelism,omitempty"`
+	ResultRows          int     `json:"result_rows"`
+	TimedOut            bool    `json:"timed_out"`
+	Error               string  `json:"error,omitempty"`
 }
 
 // NewRecord flattens a measurement into a record tagged with the
 // experiment it belongs to.
 func NewRecord(experiment string, m Measurement) Record {
 	r := Record{
-		Experiment:         experiment,
-		Dataset:            m.Spec.Dataset,
-		Complete:           m.Spec.Complete,
-		Algorithm:          m.Spec.Algorithm.Name,
-		Dimensions:         m.Spec.Dimensions,
-		Tuples:             m.Spec.Tuples,
-		Executors:          m.Spec.Executors,
-		Variant:            m.Spec.Variant,
-		ColumnarKernel:     !m.Spec.NoKernel,
-		WallSeconds:        m.Seconds(),
-		DominanceTests:     m.DominanceTests,
-		Comparisons:        m.Comparisons,
-		RowsShuffled:       m.RowsShuffled,
-		PeakBytes:          m.PeakDataBytes,
-		PeakModelMB:        m.PeakModelMB,
-		StagesExecuted:     m.StagesExecuted,
-		StageSeconds:       m.StageSeconds,
-		BatchesDecoded:     m.BatchesDecoded,
-		VectorizedExprs:    !m.Spec.NoVector,
-		VectorizedBatches:  m.VectorizedBatches,
-		AdaptiveTargetRows: m.Spec.AdaptiveTarget,
-		AdaptiveExchange:   m.Spec.AdaptiveDefault,
-		AdaptivePartitions: m.AdaptivePartitions,
-		CostGate:           !m.Spec.NoCostGate && !m.Spec.NoVector && !m.Spec.NoKernel,
-		CostDecisions:      m.CostDecisions,
-		ResultRows:         m.ResultRows,
-		TimedOut:           m.TimedOut,
+		Experiment:          experiment,
+		Dataset:             m.Spec.Dataset,
+		Complete:            m.Spec.Complete,
+		Algorithm:           m.Spec.Algorithm.Name,
+		Dimensions:          m.Spec.Dimensions,
+		Tuples:              m.Spec.Tuples,
+		Executors:           m.Spec.Executors,
+		Variant:             m.Spec.Variant,
+		ColumnarKernel:      !m.Spec.NoKernel,
+		WallSeconds:         m.Seconds(),
+		DominanceTests:      m.DominanceTests,
+		Comparisons:         m.Comparisons,
+		RowsShuffled:        m.RowsShuffled,
+		PeakBytes:           m.PeakDataBytes,
+		PeakModelMB:         m.PeakModelMB,
+		StagesExecuted:      m.StagesExecuted,
+		StageSeconds:        m.StageSeconds,
+		BatchesDecoded:      m.BatchesDecoded,
+		VectorizedExprs:     !m.Spec.NoVector,
+		VectorizedBatches:   m.VectorizedBatches,
+		AdaptiveTargetRows:  m.Spec.AdaptiveTarget,
+		AdaptiveExchange:    m.Spec.AdaptiveDefault,
+		AdaptivePartitions:  m.AdaptivePartitions,
+		CostGate:            !m.Spec.NoCostGate && !m.Spec.NoVector && !m.Spec.NoKernel,
+		CostDecisions:       m.CostDecisions,
+		MorselParallel:      m.Spec.MorselParallel,
+		MorselsExecuted:     m.MorselsExecuted,
+		Steals:              m.Steals,
+		AchievedParallelism: m.AchievedParallelism,
+		ResultRows:          m.ResultRows,
+		TimedOut:            m.TimedOut,
 	}
 	if m.Err != nil {
 		r.Error = m.Err.Error()

@@ -117,14 +117,141 @@ type Metrics struct {
 	stages       atomic.Int64
 	vectorized   atomic.Int64
 
+	morsels      atomic.Int64
+	steals       atomic.Int64
+	parallelBusy atomic.Int64 // nanos of task work inside parallel rounds
+	parallelWall atomic.Int64 // nanos of (real or modeled) round makespans
+
 	mu         sync.Mutex
 	stageTimes []StageTime
 	adaptive   []AdaptiveDecision
 	cost       []CostDecision
+	workerBusy []int64 // per-worker busy nanos, grown on demand
 
 	// Sky aggregates dominance-test counts across all skyline operators in
 	// the query.
 	Sky skyline.Stats
+}
+
+// AddMorsels records n morsel tasks scheduled by a morsel-parallel round.
+func (m *Metrics) AddMorsels(n int64) {
+	if m != nil {
+		m.morsels.Add(n)
+	}
+}
+
+// MorselsExecuted returns the number of morsel tasks scheduled by
+// morsel-parallel rounds. Zero when morsel parallelism was off: whole
+// partitions scheduled by the classic path are not morsels. The count is a
+// pure function of the data layout and the executor budget (morsel sizing
+// never consults the real core count), so benchdiff can gate it.
+func (m *Metrics) MorselsExecuted() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.morsels.Load()
+}
+
+// AddSteal records one work-stealing event: a task executed by a worker
+// other than the one it was enqueued on. On the real pool this is observed;
+// in simulate mode it is derived from the greedy makespan model's task
+// placement (a morsel placed off its home partition's worker).
+func (m *Metrics) AddSteal() {
+	if m != nil {
+		m.steals.Add(1)
+	}
+}
+
+// AddSteals records n work-stealing events at once.
+func (m *Metrics) AddSteals(n int64) {
+	if m != nil && n != 0 {
+		m.steals.Add(n)
+	}
+}
+
+// Steals returns the number of work-stealing events. Informational (the
+// real pool's placement depends on timing); morsel counts are the
+// deterministic twin.
+func (m *Metrics) Steals() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.steals.Load()
+}
+
+// AddWorkerBusy charges d of busy time to the given worker.
+func (m *Metrics) AddWorkerBusy(worker int, d time.Duration) {
+	if m == nil || worker < 0 {
+		return
+	}
+	m.mu.Lock()
+	for len(m.workerBusy) <= worker {
+		m.workerBusy = append(m.workerBusy, 0)
+	}
+	m.workerBusy[worker] += int64(d)
+	m.mu.Unlock()
+}
+
+// WorkerBusy returns the per-worker busy times (index = worker id); empty
+// when no parallel round ran.
+func (m *Metrics) WorkerBusy() []time.Duration {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]time.Duration, len(m.workerBusy))
+	for i, n := range m.workerBusy {
+		out[i] = time.Duration(n)
+	}
+	return out
+}
+
+// AddParallelRound accumulates one parallel round's busy time (the summed
+// task work) and wall time (the round's real or modeled makespan). Their
+// running ratio is the achieved parallelism.
+func (m *Metrics) AddParallelRound(busy, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.parallelBusy.Add(int64(busy))
+	m.parallelWall.Add(int64(wall))
+}
+
+// AchievedParallelism returns total busy time over total wall time across
+// the parallel rounds of the run — how many workers were effectively busy
+// on average. 0 when no parallel round ran.
+func (m *Metrics) AchievedParallelism() float64 {
+	if m == nil {
+		return 0
+	}
+	wall := m.parallelWall.Load()
+	if wall <= 0 {
+		return 0
+	}
+	return float64(m.parallelBusy.Load()) / float64(wall)
+}
+
+// FormatMorsels renders the morsel-runtime counters for EXPLAIN and the
+// shell ("" when no morsel-parallel round ran).
+func (m *Metrics) FormatMorsels() string {
+	morsels := m.MorselsExecuted()
+	if morsels == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("morsels executed: %d, steals: %d", morsels, m.Steals())
+	if ap := m.AchievedParallelism(); ap > 0 {
+		s += fmt.Sprintf(", achieved parallelism: %.2fx", ap)
+	}
+	s += "\n"
+	if busy := m.WorkerBusy(); len(busy) > 0 {
+		parts := make([]string, len(busy))
+		for i, d := range busy {
+			parts[i] = d.Round(time.Microsecond).String()
+		}
+		s += "worker busy: [" + strings.Join(parts, " ") + "]\n"
+	}
+	return s
 }
 
 // AdaptiveDecision records one adaptive post-exchange partitioning choice:
@@ -434,6 +561,27 @@ type Context struct {
 	// way; the switch exists for A/B ablation of the gate itself.
 	DisableCostGate bool
 
+	// Pool, when non-nil, runs task rounds on a persistent work-stealing
+	// worker pool instead of spawning goroutines per stage. The pool is
+	// owned by the caller (typically the session) and may be shared by
+	// concurrent queries. Ignored in Simulate mode, where tasks run
+	// serially by definition.
+	Pool *WorkerPool
+
+	// MorselParallel lets splittable task rounds cut large partitions into
+	// morsels — bounded row ranges sharing the partition's columnar sidecar
+	// via Batch.Slice — so a skewed partition parallelizes instead of
+	// serializing its stage. Only rounds whose transform is morsel-safe
+	// opt in (MapPartitionsSplittable); results are bit-identical to
+	// whole-partition execution by the splitting contract.
+	MorselParallel bool
+
+	// MorselTargetRows overrides the cost-chosen rows-per-morsel target
+	// (cost.MorselTarget) for morsel splitting. 0 (the default) keeps the
+	// cost-chosen target; tests use small explicit targets to exercise
+	// splitting on small inputs.
+	MorselTargetRows int
+
 	taskRealNanos atomic.Int64 // serial time actually spent inside tasks
 	taskSimNanos  atomic.Int64 // simulated makespan of those stages
 	canceled      atomic.Bool
@@ -491,19 +639,273 @@ type ColumnarFn = func(i int, part []types.Row, b *skyline.Batch) ([]types.Row, 
 
 // MapPartitionsColumnar is MapPartitions for batch-aware transforms: the
 // columnar sidecar of each input partition is handed to fn, and sidecars
-// returned by fn are attached to the output dataset.
+// returned by fn are attached to the output dataset. Partitions are never
+// split: each is exactly one task.
 func (c *Context) MapPartitionsColumnar(in *Dataset, fn ColumnarFn) (*Dataset, error) {
+	return c.mapPartitions(in, fn, false)
+}
+
+// MapPartitionsSplittable is MapPartitionsColumnar for transforms that are
+// morsel-safe: when MorselParallel is on, large partitions are cut into
+// contiguous row-range morsels (sidecars sliced alongside via Batch.Slice)
+// that execute as independent tasks, and each partition's output is the
+// in-order concatenation of its morsel outputs (sidecars re-merged when
+// every morsel produced one).
+//
+// The morsel-safety contract fn must satisfy: fn may be invoked several
+// times with the SAME partition index i (once per morsel, concurrently),
+// and for any contiguous split part = m₁ ++ m₂ ++ …, the concatenation
+// fn(m₁) ++ fn(m₂) ++ … must feed downstream operators to the same final
+// result as fn(part). Pure per-row transforms (filter, project) satisfy it
+// trivially; a complete-dominance local skyline satisfies it because
+// complete dominance is transitive (each morsel's survivors are a superset
+// of the partition's survivors restricted to that range, in input order,
+// and the global pass above removes exactly the difference). Prefix
+// semantics (LIMIT), bounded windows, and incomplete dominance do not
+// satisfy it and must use MapPartitionsColumnar.
+func (c *Context) MapPartitionsSplittable(in *Dataset, fn ColumnarFn) (*Dataset, error) {
+	return c.mapPartitions(in, fn, true)
+}
+
+// morselResult is one morsel's output, awaiting per-partition reassembly.
+type morselResult struct {
+	rows  []types.Row
+	batch *skyline.Batch
+}
+
+func (c *Context) mapPartitions(in *Dataset, fn ColumnarFn, splittable bool) (*Dataset, error) {
 	n := len(in.Parts)
 	if n == 0 {
 		return &Dataset{}, nil
 	}
+	c.Metrics.AddStage()
+	morselMode := splittable && c.MorselParallel
+
+	// Build the task list: one task per partition, or — in morsel mode —
+	// one per contiguous row range of a split partition. Tasks are built
+	// partition-major with the partition index as the pool home, so a hot
+	// partition's morsels cluster on one worker's deque and rebalancing
+	// shows up as steals.
+	var (
+		tasks   []func() error
+		homes   []int
+		results = make([][]morselResult, n)
+	)
+	for p := 0; p < n; p++ {
+		part := in.Parts[p]
+		pb := in.BatchAt(p)
+		bounds := [][2]int{{0, len(part)}}
+		if morselMode {
+			if mb := c.morselBounds(len(part)); mb != nil {
+				bounds = mb
+			}
+		}
+		results[p] = make([]morselResult, len(bounds))
+		for s, bd := range bounds {
+			p, s, lo, hi := p, s, bd[0], bd[1]
+			var mb *skyline.Batch
+			rows := part[lo:hi]
+			if pb != nil {
+				mb = pb.Slice(lo, hi)
+			}
+			tasks = append(tasks, func() error {
+				res, b, err := fn(p, rows, mb)
+				if err != nil {
+					return err
+				}
+				results[p][s] = morselResult{rows: res, batch: b}
+				return nil
+			})
+			homes = append(homes, p)
+		}
+	}
+	if morselMode {
+		c.Metrics.AddMorsels(int64(len(tasks)))
+	}
+	if !morselMode {
+		homes = nil // whole-partition round: no modeled steal accounting
+	}
+	if err := c.runTasks(tasks, homes); err != nil {
+		return nil, err
+	}
+
 	out := make([][]types.Row, n)
 	batches := make([]*skyline.Batch, n)
+	for p := range results {
+		out[p], batches[p] = assemblePartition(results[p])
+	}
+	return newDatasetWithBatches(out, batches), nil
+}
+
+// assemblePartition concatenates one partition's morsel outputs in range
+// order. The sidecar survives only when every morsel emitted one and the
+// merge is aligned with the concatenated rows; otherwise it is dropped
+// (downstream re-decodes, results unchanged).
+func assemblePartition(rs []morselResult) ([]types.Row, *skyline.Batch) {
+	if len(rs) == 1 {
+		return rs[0].rows, rs[0].batch
+	}
+	total := 0
+	for _, r := range rs {
+		total += len(r.rows)
+	}
+	rows := make([]types.Row, 0, total)
+	batches := make([]*skyline.Batch, 0, len(rs))
+	haveAll := true
+	for _, r := range rs {
+		rows = append(rows, r.rows...)
+		if r.batch == nil {
+			haveAll = haveAll && len(r.rows) == 0
+			continue
+		}
+		batches = append(batches, r.batch)
+	}
+	if !haveAll || len(batches) == 0 {
+		return rows, nil
+	}
+	merged, ok := skyline.MergeBatches(batches)
+	if !ok || merged.Len() != len(rows) {
+		return rows, nil
+	}
+	return rows, merged
+}
+
+// morselBounds cuts a partition of rows rows into contiguous morsel ranges,
+// or returns nil when the partition is too small to be worth splitting
+// (fewer than two full morsels). The target comes from MorselTargetRows or,
+// by default, the cost model — both depend only on (rows, Executors), so
+// morsel counts are deterministic.
+func (c *Context) morselBounds(rows int) [][2]int {
+	target := c.MorselTargetRows
+	if target <= 0 {
+		target = cost.MorselTarget(rows, c.Executors)
+	}
+	if rows < 2*target {
+		return nil
+	}
+	return evenChunkBounds(rows, (rows+target-1)/target)
+}
+
+// RunMorsels executes tasks as one scheduled parallel round under the
+// context's execution mode — the primitive behind the morsel-parallel
+// global skyline, whose work units are index ranges of one merged batch
+// rather than partitions of a dataset. Each task counts as a morsel; in
+// simulate mode the round contributes its greedy makespan over the
+// measured task durations to the simulated clock, exactly like a
+// MapPartitions round.
+func (c *Context) RunMorsels(tasks []func() error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
 	c.Metrics.AddStage()
+	c.Metrics.AddMorsels(int64(len(tasks)))
+	homes := make([]int, len(tasks))
+	for i := range homes {
+		homes[i] = i
+	}
+	return c.runTasks(tasks, homes)
+}
+
+// runTasks executes one round of tasks under the context's execution mode:
+// serial discrete-event simulation (Simulate), the persistent work-stealing
+// pool (Pool), or the classic per-stage goroutine loop. homes, when
+// non-nil, marks a morsel round and gives each task's home worker for
+// steal accounting; nil rounds skip the modeled steal/busy bookkeeping.
+func (c *Context) runTasks(tasks []func() error, homes []int) error {
+	if len(tasks) == 0 {
+		return nil
+	}
 	if c.Simulate {
-		return c.mapPartitionsSimulated(in, out, batches, fn)
+		return c.runTasksSimulated(tasks, homes)
 	}
 	start := time.Now()
+	var err error
+	if c.Pool != nil {
+		poolTasks := make([]Task, len(tasks))
+		for i := range tasks {
+			home := i
+			if homes != nil {
+				home = homes[i]
+			}
+			poolTasks[i] = Task{Home: home, Run: tasks[i]}
+		}
+		var busy atomic.Int64
+		err = c.Pool.RunBatch(poolTasks, c.Canceled, func(worker int, stolen bool, d time.Duration) {
+			if stolen {
+				c.Metrics.AddSteal()
+			}
+			c.Metrics.AddWorkerBusy(worker, d)
+			busy.Add(int64(d))
+		})
+		if err == nil {
+			wall := time.Since(start)
+			c.Metrics.AddStageTime(len(tasks), wall)
+			c.Metrics.AddParallelRound(time.Duration(busy.Load()), wall)
+		}
+		return err
+	}
+	if err = c.runTasksGoroutines(tasks); err != nil {
+		return err
+	}
+	c.Metrics.AddStageTime(len(tasks), time.Since(start))
+	return nil
+}
+
+// runTasksSimulated runs the round serially, measures each task, and
+// advances the simulated clock by the greedy makespan of scheduling the
+// measured durations onto Executors workers — morsel durations when the
+// round was split, partition durations otherwise, the same Makespan model
+// either way (the simulate path's honesty contract). For morsel rounds the
+// model's task placement also yields the deterministic-shape steal and
+// per-worker busy accounting the real pool observes.
+func (c *Context) runTasksSimulated(tasks []func() error, homes []int) error {
+	durations := make([]time.Duration, len(tasks))
+	var serial, busy time.Duration
+	for i, t := range tasks {
+		if err := c.CheckCanceled(); err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := t(); err != nil {
+			return err
+		}
+		d := time.Since(start)
+		durations[i] = d + c.TaskOverhead
+		serial += d
+		busy += durations[i]
+	}
+	makespan, assign := MakespanAssign(durations, c.Executors)
+	c.taskRealNanos.Add(int64(serial))
+	c.taskSimNanos.Add(int64(makespan))
+	c.Metrics.AddStageTime(len(tasks), makespan)
+	if homes != nil {
+		k := c.Executors
+		if k > len(tasks) {
+			k = len(tasks)
+		}
+		if k < 1 {
+			k = 1
+		}
+		steals := int64(0)
+		for i, w := range assign {
+			if w != homes[i]%k {
+				steals++
+			}
+			c.Metrics.AddWorkerBusy(w, durations[i])
+		}
+		c.Metrics.AddSteals(steals)
+		c.Metrics.AddParallelRound(busy, makespan)
+	}
+	return nil
+}
+
+// runTasksGoroutines is the classic per-stage scheduling loop: Executors
+// goroutines pulling tasks off a shared index. Workers re-check the
+// round's error slot before every pull, so one failed or canceled task
+// stops the round promptly instead of letting the remaining workers drain
+// every task that was still queued.
+func (c *Context) runTasksGoroutines(tasks []func() error) error {
+	n := len(tasks)
 	workers := c.Executors
 	if workers > n {
 		workers = n
@@ -522,54 +924,25 @@ func (c *Context) MapPartitionsColumnar(in *Dataset, fn ColumnarFn) (*Dataset, e
 				if i >= n {
 					return
 				}
+				if firstErr.Load() != nil {
+					return
+				}
 				if err := c.CheckCanceled(); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				res, b, err := fn(i, in.Parts[i], in.BatchAt(i))
-				if err != nil {
+				if err := tasks[i](); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				out[i] = res
-				batches[i] = b
 			}
 		}()
 	}
 	wg.Wait()
 	if err := firstErr.Load(); err != nil {
-		return nil, err.(error)
+		return err.(error)
 	}
-	c.Metrics.AddStageTime(n, time.Since(start))
-	return newDatasetWithBatches(out, batches), nil
-}
-
-// mapPartitionsSimulated runs tasks serially, measures each, and advances
-// the simulated clock by the greedy makespan of scheduling them onto
-// Executors workers.
-func (c *Context) mapPartitionsSimulated(in *Dataset, out [][]types.Row, batches []*skyline.Batch, fn ColumnarFn) (*Dataset, error) {
-	durations := make([]time.Duration, len(in.Parts))
-	var serial time.Duration
-	for i, part := range in.Parts {
-		if err := c.CheckCanceled(); err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		res, b, err := fn(i, part, in.BatchAt(i))
-		if err != nil {
-			return nil, err
-		}
-		d := time.Since(start)
-		durations[i] = d + c.TaskOverhead
-		serial += d
-		out[i] = res
-		batches[i] = b
-	}
-	makespan := Makespan(durations, c.Executors)
-	c.taskRealNanos.Add(int64(serial))
-	c.taskSimNanos.Add(int64(makespan))
-	c.Metrics.AddStageTime(len(in.Parts), makespan)
-	return newDatasetWithBatches(out, batches), nil
+	return nil
 }
 
 // newDatasetWithBatches assembles a dataset, keeping the sidecar slice only
@@ -629,6 +1002,14 @@ func (c *Context) partitionTarget(rows int) int {
 // Makespan computes the completion time of scheduling tasks (in order)
 // greedily onto k workers: each task goes to the earliest-available worker.
 func Makespan(tasks []time.Duration, k int) time.Duration {
+	m, _ := MakespanAssign(tasks, k)
+	return m
+}
+
+// MakespanAssign is Makespan also reporting the worker each task was placed
+// on — the placement the simulate path uses to model steals and per-worker
+// busy time without a real pool.
+func MakespanAssign(tasks []time.Duration, k int) (time.Duration, []int) {
 	if k < 1 {
 		k = 1
 	}
@@ -636,10 +1017,11 @@ func Makespan(tasks []time.Duration, k int) time.Duration {
 		k = len(tasks)
 	}
 	if k == 0 {
-		return 0
+		return 0, nil
 	}
 	avail := make([]time.Duration, k)
-	for _, d := range tasks {
+	assign := make([]int, len(tasks))
+	for t, d := range tasks {
 		minI := 0
 		for i := 1; i < k; i++ {
 			if avail[i] < avail[minI] {
@@ -647,6 +1029,7 @@ func Makespan(tasks []time.Duration, k int) time.Duration {
 			}
 		}
 		avail[minI] += d
+		assign[t] = minI
 	}
 	var max time.Duration
 	for _, a := range avail {
@@ -654,7 +1037,7 @@ func Makespan(tasks []time.Duration, k int) time.Duration {
 			max = a
 		}
 	}
-	return max
+	return max, assign
 }
 
 // Distribution selects how an exchange repartitions data, mirroring the

@@ -301,6 +301,32 @@ func GateDecodeAtScan(sel float64, width, predNodes int, vectorizable bool) bool
 // milliseconds per task; the harness models 1ms) dominates the work.
 const MinPartitionRows = 2048
 
+// MinMorselRows is the smallest morsel the work-stealing runtime will cut
+// out of a partition: below it the scheduling overhead of one more task
+// outweighs the balance it buys. It is deliberately smaller than
+// MinPartitionRows — morsels exist to split partitions that are already
+// worth a task of their own.
+const MinMorselRows = 512
+
+// MorselTarget picks the rows-per-morsel for splitting one partition of
+// rows rows under the given parallelism budget, ExchangeTarget-style: a
+// partition splits into about four morsels per executor — enough slack
+// that work stealing can rebalance a skewed partition across idle workers
+// — floored at MinMorselRows so tiny partitions stay whole. The target
+// depends only on (rows, executors), never on the machine's real core
+// count, so morsel counts are deterministic and benchdiff can gate them.
+func MorselTarget(rows, executors int) int {
+	if executors < 1 {
+		executors = 1
+	}
+	morsels := 4 * executors
+	per := (rows + morsels - 1) / morsels
+	if per < MinMorselRows {
+		per = MinMorselRows
+	}
+	return per
+}
+
 // ExchangeTarget picks the adaptive rows-per-partition target for an
 // exchange observing rows upstream rows under the given executor count:
 // an even split across the executors, floored at MinPartitionRows. Large

@@ -90,6 +90,10 @@ func (f *FilterExec) String() string        { return "FilterExec " + f.Cond.Stri
 // pass, so it fuses into the enclosing stage.
 func (f *FilterExec) NarrowChild() Operator { return f.Child }
 
+// MorselSplittable implements the morsel-safety opt-in: a filter is a pure
+// per-row pass, so range outputs concatenate to the whole-partition output.
+func (f *FilterExec) MorselSplittable() bool { return true }
+
 // PartitionTransform returns the filter's per-partition closure.
 func (f *FilterExec) PartitionTransform(ctx *cluster.Context) PartitionFn {
 	cfn := f.PartitionTransformColumnar(ctx)
@@ -159,7 +163,7 @@ func (f *FilterExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := ctx.MapPartitionsColumnar(in, f.PartitionTransformColumnar(ctx))
+	out, err := ctx.MapPartitionsSplittable(in, f.PartitionTransformColumnar(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +195,11 @@ func (p *ProjectExec) String() string        { return "ProjectExec [" + exprStri
 // NarrowChild implements NarrowOperator: projection is a pure
 // per-partition pass, so it fuses into the enclosing stage.
 func (p *ProjectExec) NarrowChild() Operator { return p.Child }
+
+// MorselSplittable implements the morsel-safety opt-in: projection is a
+// pure per-row pass, so range outputs concatenate to the whole-partition
+// output.
+func (p *ProjectExec) MorselSplittable() bool { return true }
 
 // PartitionTransform returns the projection's per-partition closure.
 func (p *ProjectExec) PartitionTransform(ctx *cluster.Context) PartitionFn {
@@ -314,7 +323,7 @@ func (p *ProjectExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := ctx.MapPartitionsColumnar(in, p.PartitionTransformColumnar(ctx))
+	out, err := ctx.MapPartitionsSplittable(in, p.PartitionTransformColumnar(ctx))
 	if err != nil {
 		return nil, err
 	}

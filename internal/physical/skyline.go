@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"skysql/internal/cluster"
+	"skysql/internal/cost"
 	"skysql/internal/expr"
 	"skysql/internal/skyline"
 	"skysql/internal/types"
@@ -113,6 +114,19 @@ func (l *LocalSkylineExec) String() string {
 // into the enclosing stage.
 func (l *LocalSkylineExec) NarrowChild() Operator { return l.Child }
 
+// MorselSplittable implements the morsel-safety opt-in. Complete dominance
+// is transitive (NULL-aware dominance requires identical null masks), so
+// each morsel's local skyline is the partition skyline restricted to its
+// range plus extra locally-undominated points — a superset the global pass
+// above reduces to exactly the whole-partition result, in the same order
+// (both outputs are input-order subsequences containing every true skyline
+// point). Incomplete dominance is not transitive and a bounded window's
+// emission order depends on overflow timing, so those configurations stay
+// whole-partition.
+func (l *LocalSkylineExec) MorselSplittable() bool {
+	return !l.Incomplete && l.WindowCap == 0
+}
+
 // PartitionTransform returns the per-partition BNL closure without sidecar
 // flow (NarrowOperator interface); the stage compiler and Execute use the
 // columnar variant below.
@@ -202,7 +216,11 @@ func (l *LocalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, erro
 	if err != nil {
 		return nil, err
 	}
-	out, err := ctx.MapPartitionsColumnar(in, l.PartitionTransformColumnar(ctx))
+	mapFn := ctx.MapPartitionsColumnar
+	if l.MorselSplittable() {
+		mapFn = ctx.MapPartitionsSplittable
+	}
+	out, err := mapFn(in, l.PartitionTransformColumnar(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +317,7 @@ func (g *GlobalSkylineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, err
 		// Columnar kernel over the (merged sidecar or freshly decoded)
 		// batch; ok=false only for unknown algorithms, which the boxed
 		// switch below reports.
-		if idx, ok, kerr := g.runKernel(b, stats); ok {
+		if idx, ok, kerr := g.runKernelCtx(ctx, b, stats); ok {
 			if kerr != nil {
 				return nil, kerr
 			}
@@ -387,4 +405,50 @@ func (g *GlobalSkylineExec) runKernel(b *skyline.Batch, stats *skyline.Stats) (i
 	}
 	b.Flush(stats)
 	return idx, true, err
+}
+
+// runKernelCtx dispatches to the morsel-parallel kernel twins when the
+// context enables morsel parallelism and the batch is large enough for
+// the cost-chosen morsel size; otherwise it runs the serial kernel. The
+// parallel twins emit bit-identical index sequences (batch_parallel.go),
+// so the choice is purely a scheduling decision. The bounded-window BNL
+// and the Z-order SFS presort have no parallel twin: their window/order
+// state is inherently sequential, so they stay on the serial path.
+func (g *GlobalSkylineExec) runKernelCtx(ctx *cluster.Context, b *skyline.Batch, stats *skyline.Stats) (idx []int, ok bool, err error) {
+	chunk := g.parallelChunk(ctx, b.Len())
+	if chunk <= 0 {
+		return g.runKernel(b, stats)
+	}
+	run := ctx.RunMorsels
+	switch {
+	case g.Algorithm == GlobalBNL && g.WindowCap == 0:
+		idx, err = b.BNLParallel(g.Distinct, chunk, run)
+	case g.Algorithm == GlobalSFS && !g.ZorderPresort:
+		idx, err = b.SFSParallel(g.Distinct, chunk, run)
+	case g.Algorithm == GlobalDivideAndConquer:
+		idx, err = b.DivideAndConquerParallel(g.Distinct, chunk, run)
+	case g.Algorithm == GlobalIncompleteFlags:
+		idx, err = b.GlobalIncompleteParallel(g.Distinct, chunk, run)
+	default:
+		return g.runKernel(b, stats)
+	}
+	b.Flush(stats)
+	return idx, true, err
+}
+
+// parallelChunk returns the morsel row target for the parallel global
+// kernel, or 0 when the serial kernel should run (morsel parallelism off,
+// or the batch too small to split).
+func (g *GlobalSkylineExec) parallelChunk(ctx *cluster.Context, rows int) int {
+	if !ctx.MorselParallel {
+		return 0
+	}
+	target := ctx.MorselTargetRows
+	if target <= 0 {
+		target = cost.MorselTarget(rows, ctx.Executors)
+	}
+	if rows < 2*target {
+		return 0
+	}
+	return target
 }

@@ -54,6 +54,33 @@ type ColumnarOperator interface {
 	PartitionTransformColumnar(ctx *cluster.Context) ColumnarPartitionFn
 }
 
+// MorselSplittable is the opt-in interface of narrow operators whose
+// partition transform satisfies the cluster's morsel-safety contract
+// (cluster.MapPartitionsSplittable): the transform may run independently
+// over contiguous row ranges of a partition, and concatenating the range
+// outputs feeds downstream operators to the same final result as the
+// whole-partition run. Pure per-row transforms (filter, project) qualify
+// trivially; a complete-dominance, unbounded-window local skyline
+// qualifies by transitivity. Operators that do not implement the
+// interface, or return false, keep whole-partition tasks — prefix
+// semantics (LocalLimitExec), bounded windows, and incomplete dominance
+// must stay unsplit.
+type MorselSplittable interface {
+	MorselSplittable() bool
+}
+
+// morselSplittable reports whether every operator of a fused chain opted
+// into morsel splitting.
+func morselSplittable(ops []NarrowOperator) bool {
+	for _, op := range ops {
+		m, ok := op.(MorselSplittable)
+		if !ok || !m.MorselSplittable() {
+			return false
+		}
+	}
+	return true
+}
+
 // StageSource is implemented by pipeline breakers that can absorb the
 // fused tail of the stage above them into their own final per-partition
 // pass, saving one task round and one intermediate materialization.
@@ -173,7 +200,14 @@ func (p *PipelineExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := ctx.MapPartitionsColumnar(in, tail)
+	// When every fused operator is morsel-safe the stage round may split
+	// skewed partitions into morsels (per-morsel source decodes included:
+	// the tail decodes whatever range it is handed).
+	mapFn := ctx.MapPartitionsColumnar
+	if morselSplittable(p.Ops) {
+		mapFn = ctx.MapPartitionsSplittable
+	}
+	out, err := mapFn(in, tail)
 	if err != nil {
 		return nil, err
 	}

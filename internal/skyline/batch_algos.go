@@ -273,6 +273,15 @@ func (b *Batch) BNLBounded(distinct bool, windowCap int) ([]int, error) {
 // which reproduces the boxed entropyScore exactly (NULL slots hold 0, the
 // contribution entropyScore assigns them).
 func (b *Batch) SFS(distinct bool) []int {
+	return b.sfsFilter(b.sfsOrder(), distinct)
+}
+
+// sfsOrder computes SFS's processing order: all indices, stably sorted by
+// the entropy score (the sum of the direction-normalized columns). The
+// score is strictly monotone under dominance — a dominator is ≤ in every
+// normalized column and < in one — so no point is ever preceded by a point
+// it dominates, and equal points keep their index order.
+func (b *Batch) sfsOrder() []int {
 	scores := make([]float64, len(b.pts))
 	s := b.numStride
 	for i := range scores {
@@ -286,7 +295,7 @@ func (b *Batch) SFS(distinct bool) []int {
 	sort.SliceStable(order, func(x, y int) bool {
 		return scores[order[x]] < scores[order[y]]
 	})
-	return b.sfsFilter(order, distinct)
+	return order
 }
 
 // sfsFilter is the eviction-free SFS filter pass over an already

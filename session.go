@@ -2,6 +2,8 @@ package skysql
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"skysql/internal/catalog"
 	"skysql/internal/cluster"
@@ -24,6 +26,11 @@ type Session struct {
 	zorderSFS    bool
 	adaptiveRows int
 	noAdaptive   bool
+	noMorsel     bool
+	poolSize     int
+
+	poolMu sync.Mutex
+	pool   *cluster.WorkerPool
 }
 
 // Option configures a session.
@@ -133,6 +140,28 @@ func WithoutAdaptiveExchange() Option {
 	return func(s *Session) { s.noAdaptive = true }
 }
 
+// WithWorkerPool pins the size of the session's work-stealing worker pool
+// to n OS-thread-backed workers. The default (without this option) is
+// min(runtime.NumCPU(), executors): the pool never oversubscribes the
+// machine and never exceeds the configured parallelism budget. The pool
+// is created lazily on the first non-simulated query and freed by Close.
+func WithWorkerPool(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.poolSize = n
+		}
+	}
+}
+
+// WithoutMorselParallelism disables morsel-granular task splitting: stages
+// then schedule whole partitions as tasks and the global skyline runs its
+// serial kernel, the pre-morsel behaviour. Results are bit-identical
+// either way (the parallel twins preserve emission order); the switch
+// exists for A/B ablation and debugging, mirroring WithoutStageFusion.
+func WithoutMorselParallelism() Option {
+	return func(s *Session) { s.noMorsel = true }
+}
+
 // NewSession creates a session with an empty catalog.
 func NewSession(opts ...Option) *Session {
 	s := &Session{
@@ -148,6 +177,38 @@ func NewSession(opts ...Option) *Session {
 
 // Executors returns the configured parallelism budget.
 func (s *Session) Executors() int { return s.executors }
+
+// workerPool lazily creates the session's work-stealing pool. The size is
+// the pinned WithWorkerPool value, else min(runtime.NumCPU(), executors).
+func (s *Session) workerPool() *cluster.WorkerPool {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.pool == nil {
+		n := s.poolSize
+		if n <= 0 {
+			n = runtime.NumCPU()
+			if s.executors < n {
+				n = s.executors
+			}
+			if n < 1 {
+				n = 1
+			}
+		}
+		s.pool = cluster.NewWorkerPool(n)
+	}
+	return s.pool
+}
+
+// Close stops the session's worker pool. The session remains usable:
+// the next query recreates the pool. Safe to call multiple times.
+func (s *Session) Close() {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.pool != nil {
+		s.pool.Close()
+		s.pool = nil
+	}
+}
 
 // SetExecutors changes the parallelism budget for subsequent queries.
 func (s *Session) SetExecutors(n int) {
@@ -253,6 +314,18 @@ func (s *Session) run(c *core.Compiled) (*core.Result, error) {
 		ctx.TargetRowsPerPartition = 0
 	}
 	ctx.DecodeAtScan = !s.noVector && !s.noKernel
+	ctx.MorselParallel = !s.noMorsel
+	if !s.simulate && !s.noMorsel {
+		// Simulated runs time tasks serially and model the parallelism with
+		// the makespan greedy assignment; only real runs use the pool. A
+		// single-worker pool cannot overlap morsels, so splitting would be
+		// pure scheduling overhead — keep whole-partition tasks there.
+		if pool := s.workerPool(); pool.Size() > 1 {
+			ctx.Pool = pool
+		} else {
+			ctx.MorselParallel = false
+		}
+	}
 	return s.engine.RunCtx(c, ctx)
 }
 

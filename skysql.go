@@ -110,6 +110,40 @@
 // and skybench -json; `skybench -experiment costgate` measures the gate
 // (BENCH_PR5.json), and CI's benchdiff gates the deterministic counters
 // of the whole BENCH_*.json trajectory against the committed baselines.
+//
+// # Morsel-driven parallel runtime
+//
+// Task execution is morsel-driven: a session owns one persistent
+// work-stealing worker pool (sized min(runtime.NumCPU(), executors) by
+// default; WithWorkerPool pins it), and stages submit morsels — bounded
+// contiguous row ranges of a partition together with a zero-copy
+// Batch.Slice view of its columnar sidecar — rather than one task per
+// partition. Each worker owns a deque: it pushes and pops its own morsels
+// LIFO (cache-warm) and steals FIFO from a random victim when its deque
+// drains, so a skewed hot partition is automatically spread across idle
+// workers instead of serializing the stage on one task. The morsel size
+// is cost-chosen (cost.MorselTarget: about four morsels per executor,
+// never below 512 rows) so scheduling overhead stays amortized.
+//
+// Two serial hot spots are parallelized on top of the pool. Narrow
+// stages whose operators are morsel-safe (filters, projections, and the
+// complete unbounded local skyline — see physical.MorselSplittable)
+// split their partitions into morsels; the final global skyline runs
+// morsel-parallel kernel twins (shared-nothing local windows plus a
+// parallel cross-chunk filter) that emit the exact serial index sequence.
+// Both paths are bit-identical to serial execution by construction and
+// contract-tested under the race detector across every ablation.
+//
+// The A/B knobs mirror the other levers: WithoutMorselParallelism
+// restores whole-partition tasks and the serial global kernel,
+// WithWorkerPool sizes the pool, and WithSimulatedTime models the
+// parallelism instead of using the pool (morsel durations feed the same
+// greedy makespan model as whole-partition tasks, so simulated speedups
+// stay honest). Metrics report morsels executed, steals, per-worker busy
+// time, and achieved parallelism in EXPLAIN, the shell's \s, and
+// skybench -json; `skybench -experiment parallel` sweeps worker counts
+// over correlated, anti-correlated, and skewed workloads
+// (BENCH_PR6.json), with the deterministic morsel counts benchdiff-gated.
 package skysql
 
 import (
