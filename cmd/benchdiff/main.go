@@ -46,6 +46,13 @@ var counters = []counter{
 	// layout and the executor count); steals and achieved_parallelism are
 	// timing-dependent and stay informational.
 	{"morsels_executed", func(r bench.Record) int64 { return r.MorselsExecuted }, true},
+	// The fault-tolerance counters are pure functions of (seed, plan) in
+	// simulated mode: a drift means the task decomposition or the retry
+	// semantics changed. tasks_failed is implicitly gated at zero — an
+	// errored record already fails the gate.
+	{"task_retries", func(r bench.Record) int64 { return r.TaskRetries }, true},
+	{"injected_faults", func(r bench.Record) int64 { return r.InjectedFaults }, true},
+	{"degradation_steps", func(r bench.Record) int64 { return r.DegradationSteps }, true},
 }
 
 // identity is the matching key of a record: every field that names the
@@ -54,6 +61,11 @@ func identity(r bench.Record) string {
 	s := fmt.Sprintf("%s|%s|complete=%v|%s|dims=%d|tuples=%d|exec=%d|kernel=%v|vec=%v|target=%d|aqe=%v|gate=%v|morsel=%v",
 		r.Experiment, r.Dataset, r.Complete, r.Algorithm, r.Dimensions, r.Tuples, r.Executors,
 		r.ColumnarKernel, r.VectorizedExprs, r.AdaptiveTargetRows, r.AdaptiveExchange, r.CostGate, r.MorselParallel)
+	// Chaos parameters join the identity only when set, so baselines
+	// predating fault injection keep their keys unchanged.
+	if r.FaultRate != 0 || r.RetryBudget != 0 {
+		s += fmt.Sprintf("|fault=%g|retries=%d", r.FaultRate, r.RetryBudget)
+	}
 	if r.Variant != "" {
 		s += "|" + r.Variant
 	}

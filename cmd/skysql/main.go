@@ -122,6 +122,9 @@ func execute(sess *skysql.Session, query string, explain, showStages bool) error
 			if ds := m.FormatCostDecisions(); ds != "" {
 				fmt.Print("cost decisions:\n" + ds)
 			}
+			if fs := m.FormatFaults(); fs != "" {
+				fmt.Print(fs)
+			}
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package skysql
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -292,10 +293,19 @@ func (df *DataFrame) compile() error {
 
 // Collect executes the query and returns all rows.
 func (df *DataFrame) Collect() ([]Row, error) {
+	return df.CollectContext(context.Background())
+}
+
+// CollectContext is Collect under a Go context: cancellation or a deadline
+// on ctx cooperatively cancels the run (workers observe it between
+// morsels) and surfaces an error wrapping both the context's error and
+// cluster.ErrCanceled. WithQueryTimeout adds a session-wide deadline on
+// top.
+func (df *DataFrame) CollectContext(ctx context.Context) ([]Row, error) {
 	if err := df.compile(); err != nil {
 		return nil, err
 	}
-	res, err := df.sess.run(df.compiled)
+	res, err := df.sess.runCtx(ctx, df.compiled)
 	if err != nil {
 		return nil, err
 	}
@@ -340,6 +350,9 @@ func (df *DataFrame) Explain() (string, error) {
 		}
 		if ds := df.metrics.FormatCostDecisions(); ds != "" {
 			out += "cost decisions:\n" + ds
+		}
+		if fs := df.metrics.FormatFaults(); fs != "" {
+			out += fs
 		}
 	}
 	return out, nil

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"skysql/internal/catalog"
+	"skysql/internal/chaos"
 	"skysql/internal/cluster"
 	"skysql/internal/core"
 	"skysql/internal/datagen"
@@ -96,6 +97,16 @@ type Spec struct {
 	// (cluster.Context.MorselParallel); part of a record's identity in
 	// benchdiff, since it changes the task decomposition.
 	MorselParallel bool
+	// FaultRate, when positive, enables deterministic chaos injection of
+	// transient task faults at this rate, seeded from Config.Seed
+	// (cluster.Context.Injector); part of a record's identity in benchdiff.
+	FaultRate float64
+	// RetryBudget is the per-task retry budget for the run
+	// (cluster.Context.MaxTaskRetries); identity-bearing alongside FaultRate.
+	RetryBudget int
+	// MemoryBudget, when positive, enforces the per-query memory budget
+	// (cluster.Context.MemoryBudget), engaging the degradation ladder.
+	MemoryBudget int64
 }
 
 // Measurement is the outcome of one run.
@@ -137,9 +148,20 @@ type Measurement struct {
 	// AchievedParallelism is busy-time / wall-time over the parallel
 	// morsel rounds (0 when none ran). Informational.
 	AchievedParallelism float64
-	ResultRows          int
-	TimedOut            bool
-	Err                 error
+	// TaskRetries, TasksFailed, and InjectedFaults count the
+	// fault-tolerance events of the run. Deterministic under seeded
+	// injection in simulated mode (decisions are pure functions of the
+	// task key), so benchdiff gates on retries and faults.
+	TaskRetries    int64
+	TasksFailed    int64
+	InjectedFaults int64
+	// DegradationSteps counts memory-governor escalations (benchdiff-gated);
+	// DegradationLog lists them in order.
+	DegradationSteps int64
+	DegradationLog   []string
+	ResultRows       int
+	TimedOut         bool
+	Err              error
 }
 
 // Seconds returns the runtime in seconds (for chart-style output).
@@ -318,6 +340,11 @@ func (c Config) fill(m *Measurement, res *core.Result) {
 	m.MorselsExecuted = res.Metrics.MorselsExecuted()
 	m.Steals = res.Metrics.Steals()
 	m.AchievedParallelism = res.Metrics.AchievedParallelism()
+	m.TaskRetries = res.Metrics.TaskRetries()
+	m.TasksFailed = res.Metrics.TasksFailed()
+	m.InjectedFaults = res.Metrics.InjectedFaults()
+	m.DegradationSteps = res.Metrics.DegradationSteps()
+	m.DegradationLog = res.Metrics.Degradations()
 	m.PeakModelMB = c.ExecutorOverheadMB*float64(m.Spec.Executors) + float64(m.PeakDataBytes)/1e6
 	m.ResultRows = len(res.Rows)
 }
@@ -359,6 +386,19 @@ func (c Config) run(spec Spec) Measurement {
 	ctx.DisableCostGate = spec.NoCostGate
 	ctx.DecodeAtScan = !spec.NoVector && !spec.NoKernel
 	ctx.MorselParallel = spec.MorselParallel
+	if spec.FaultRate > 0 {
+		// The injector seed is salted per (rate, budget) cell: decisions
+		// are pure functions of (seed, stage, task, attempt), and every
+		// cell of a sweep reuses the same few small key tuples, so a shared
+		// seed would replay one draw instead of sampling the key space.
+		seed := int64(chaos.Mix(c.Seed, int64(spec.FaultRate*1e6), int64(spec.RetryBudget)) >> 1)
+		ctx.Injector = chaos.New(chaos.Config{Seed: seed, FaultRate: spec.FaultRate})
+		// The substrate simulates task time but backoff sleeps are real;
+		// keep them far below the measured makespan scale.
+		ctx.RetryBackoff = time.Microsecond
+	}
+	ctx.MaxTaskRetries = spec.RetryBudget
+	ctx.MemoryBudget = spec.MemoryBudget
 	type outcome struct {
 		res *core.Result
 		err error

@@ -75,10 +75,10 @@ func TestIncompleteVariantUsesTwoAlgorithms(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 23 {
-		t.Errorf("experiments = %d, want 23 (figs 3–19 + ablation + kernel + exchange + vectorized + costgate + parallel)", len(exps))
+	if len(exps) != 24 {
+		t.Errorf("experiments = %d, want 24 (figs 3–19 + ablation + kernel + exchange + vectorized + costgate + parallel + chaos)", len(exps))
 	}
-	for _, want := range []string{"fig3", "fig7", "fig10", "fig16", "fig19", "ablation", "kernel", "exchange", "vectorized", "costgate", "parallel"} {
+	for _, want := range []string{"fig3", "fig7", "fig10", "fig16", "fig19", "ablation", "kernel", "exchange", "vectorized", "costgate", "parallel", "chaos"} {
 		if _, err := ExperimentByID(want); err != nil {
 			t.Errorf("missing experiment %s: %v", want, err)
 		}

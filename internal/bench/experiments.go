@@ -42,6 +42,7 @@ func Experiments() []Experiment {
 		{"vectorized", "Vectorized expression engine — boxed vs vectorized filtered skyline plans", runVectorized},
 		{"costgate", "Cost-gated adaptive planning — decode-at-scan gate + cost-chosen adaptive exchanges", runCostGate},
 		{"parallel", "Morsel-driven parallel runtime — work-stealing morsel scheduling vs whole-partition tasks", runParallel},
+		{"chaos", "Fault-tolerant task runtime — deterministic fault injection over fault rate × retry budget", runChaos},
 	}
 }
 

@@ -62,9 +62,26 @@ type Record struct {
 	// AchievedParallelism is busy/wall over the parallel morsel rounds.
 	// Informational.
 	AchievedParallelism float64 `json:"achieved_parallelism,omitempty"`
-	ResultRows          int     `json:"result_rows"`
-	TimedOut            bool    `json:"timed_out"`
-	Error               string  `json:"error,omitempty"`
+	// FaultRate and RetryBudget are the chaos-injection parameters of the
+	// run (0 = no injection / no retry); part of a record's identity in
+	// benchdiff so faulted cells only compare against faulted cells.
+	FaultRate   float64 `json:"fault_rate,omitempty"`
+	RetryBudget int     `json:"retry_budget,omitempty"`
+	// TaskRetries and InjectedFaults count retried attempts and injected
+	// transient faults. Deterministic per (seed, plan) in simulated mode —
+	// benchdiff gates on both. TasksFailed counts permanent task failures
+	// (always 0 in a committed baseline: errored cells fail the harness).
+	TaskRetries    int64 `json:"task_retries,omitempty"`
+	TasksFailed    int64 `json:"tasks_failed,omitempty"`
+	InjectedFaults int64 `json:"injected_faults,omitempty"`
+	// DegradationSteps counts memory-governor escalations (deterministic
+	// per budgeted plan — benchdiff gates on it); DegradationLog lists the
+	// steps in order, informationally.
+	DegradationSteps int64    `json:"degradation_steps,omitempty"`
+	DegradationLog   []string `json:"degradation_log,omitempty"`
+	ResultRows       int      `json:"result_rows"`
+	TimedOut         bool     `json:"timed_out"`
+	Error            string   `json:"error,omitempty"`
 }
 
 // NewRecord flattens a measurement into a record tagged with the
@@ -100,6 +117,13 @@ func NewRecord(experiment string, m Measurement) Record {
 		MorselsExecuted:     m.MorselsExecuted,
 		Steals:              m.Steals,
 		AchievedParallelism: m.AchievedParallelism,
+		FaultRate:           m.Spec.FaultRate,
+		RetryBudget:         m.Spec.RetryBudget,
+		TaskRetries:         m.TaskRetries,
+		TasksFailed:         m.TasksFailed,
+		InjectedFaults:      m.InjectedFaults,
+		DegradationSteps:    m.DegradationSteps,
+		DegradationLog:      m.DegradationLog,
 		ResultRows:          m.ResultRows,
 		TimedOut:            m.TimedOut,
 	}

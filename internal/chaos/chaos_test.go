@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic pins the bit-reproducibility contract: two
+// injectors with the same seed agree on every decision; a different seed
+// disagrees somewhere.
+func TestDecideDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, FaultRate: 0.3, StragglerRate: 0.2, StragglerDelay: time.Millisecond,
+		AllocSpikeRate: 0.1, AllocSpikeBytes: 1 << 20}
+	a, b := New(cfg), New(cfg)
+	other := New(Config{Seed: 8, FaultRate: 0.3, StragglerRate: 0.2, StragglerDelay: time.Millisecond,
+		AllocSpikeRate: 0.1, AllocSpikeBytes: 1 << 20})
+	differs := false
+	for stage := int64(1); stage <= 10; stage++ {
+		for task := int64(0); task < 50; task++ {
+			for attempt := int64(0); attempt < 4; attempt++ {
+				da, db := a.Decide(stage, task, attempt), b.Decide(stage, task, attempt)
+				if da != db {
+					t.Fatalf("same seed disagrees at (%d,%d,%d): %+v vs %+v", stage, task, attempt, da, db)
+				}
+				if da != other.Decide(stage, task, attempt) {
+					differs = true
+				}
+			}
+		}
+	}
+	if !differs {
+		t.Error("different seeds never disagreed over 2000 decisions")
+	}
+}
+
+// TestDecideRates checks the empirical fault rate tracks the configured
+// rate, and the degenerate rates behave exactly.
+func TestDecideRates(t *testing.T) {
+	const n = 20000
+	count := func(rate float64) int {
+		in := New(Config{Seed: 42, FaultRate: rate})
+		hits := 0
+		for i := int64(0); i < n; i++ {
+			if in.Decide(1, i, 0).Fail {
+				hits++
+			}
+		}
+		return hits
+	}
+	if got := count(0); got != 0 {
+		t.Errorf("rate 0 injected %d faults", got)
+	}
+	if got := count(1); got != n {
+		t.Errorf("rate 1 injected %d/%d faults", got, n)
+	}
+	got := float64(count(0.3)) / n
+	if got < 0.27 || got > 0.33 {
+		t.Errorf("rate 0.3 observed %.3f, want within [0.27, 0.33]", got)
+	}
+}
+
+// TestDecideCategoriesIndependent checks the three decision streams draw
+// from independent hash streams: with all rates equal, the fault and
+// straggler verdicts must not be identical across the key space.
+func TestDecideCategoriesIndependent(t *testing.T) {
+	in := New(Config{Seed: 3, FaultRate: 0.5, StragglerRate: 0.5, StragglerDelay: time.Millisecond})
+	same := 0
+	const n = 2000
+	for i := int64(0); i < n; i++ {
+		d := in.Decide(1, i, 0)
+		if d.Fail == (d.Delay > 0) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("fault and straggler streams are perfectly correlated")
+	}
+}
+
+// TestNilInjector pins the nil-receiver convenience.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if d := in.Decide(1, 2, 3); d != (Decision{}) {
+		t.Errorf("nil injector decided %+v", d)
+	}
+	if c := in.Config(); c != (Config{}) {
+		t.Errorf("nil injector config %+v", c)
+	}
+}
+
+// TestAttemptsVary checks retries see fresh decisions: a task that fails
+// at attempt 0 must not fail at every other attempt just because of its
+// (stage, task) key.
+func TestAttemptsVary(t *testing.T) {
+	in := New(Config{Seed: 5, FaultRate: 0.5})
+	varied := false
+	for task := int64(0); task < 100; task++ {
+		first := in.Decide(2, task, 0).Fail
+		for attempt := int64(1); attempt < 4; attempt++ {
+			if in.Decide(2, task, attempt).Fail != first {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Error("fault verdict never varied across attempts")
+	}
+}

@@ -8,12 +8,14 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"skysql/internal/chaos"
 	"skysql/internal/cost"
 	"skysql/internal/skyline"
 	"skysql/internal/types"
@@ -122,11 +124,17 @@ type Metrics struct {
 	parallelBusy atomic.Int64 // nanos of task work inside parallel rounds
 	parallelWall atomic.Int64 // nanos of (real or modeled) round makespans
 
+	taskRetries    atomic.Int64
+	tasksFailed    atomic.Int64
+	injectedFaults atomic.Int64
+	degradeSteps   atomic.Int64
+
 	mu         sync.Mutex
 	stageTimes []StageTime
 	adaptive   []AdaptiveDecision
 	cost       []CostDecision
-	workerBusy []int64 // per-worker busy nanos, grown on demand
+	workerBusy []int64  // per-worker busy nanos, grown on demand
+	degrade    []string // memory-governor escalations, in order
 
 	// Sky aggregates dominance-test counts across all skyline operators in
 	// the query.
@@ -488,11 +496,34 @@ func (m *Metrics) Alloc(n int64) {
 	}
 }
 
-// Free releases n bytes of materialized data.
+// Free releases n bytes of materialized data. The live counter is clamped
+// at zero: an unmatched Free (a bookkeeping bug in some operator) must not
+// drive it negative, which would silently deflate every later PeakBytes
+// reading — and, worse now that the counter is enforced, hide real
+// pressure from the memory governor.
 func (m *Metrics) Free(n int64) {
-	if m != nil {
-		m.curBytes.Add(-n)
+	if m == nil {
+		return
 	}
+	for {
+		cur := m.curBytes.Load()
+		next := cur - n
+		if next < 0 {
+			next = 0
+		}
+		if m.curBytes.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// LiveBytes returns the currently-materialized byte count — the quantity
+// the memory governor budgets. Never negative (see Free).
+func (m *Metrics) LiveBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.curBytes.Load()
 }
 
 // PeakBytes returns the highest concurrently-materialized byte count seen.
@@ -582,9 +613,37 @@ type Context struct {
 	// splitting on small inputs.
 	MorselTargetRows int
 
+	// Injector, when non-nil, injects deterministic faults (transient task
+	// errors, straggler delays, allocation spikes) into every task attempt,
+	// keyed by (stage, partition/morsel, attempt). Sessions wire it via
+	// skysql.WithFaultInjection.
+	Injector *chaos.Injector
+
+	// MaxTaskRetries bounds per-task re-execution after transient failures
+	// (0 = fail the round on the first error, the pre-retry behaviour at
+	// the cluster layer; sessions default to a small positive budget).
+	// Tasks are pure per-partition/morsel closures, so re-execution is
+	// lineage-safe.
+	MaxTaskRetries int
+
+	// RetryBackoff is the base delay of the exponential retry backoff
+	// (doubled per attempt, capped, deterministically jittered). 0 uses a
+	// sub-millisecond default sized for in-process transient faults.
+	RetryBackoff time.Duration
+
+	// MemoryBudget, when positive, caps the query's live materialized
+	// bytes (Metrics.LiveBytes). Exceeding soft thresholds degrades the
+	// plan gracefully — drop columnar sidecars, then collapse exchange
+	// fan-out — before a hard excess fails the query with ErrMemoryBudget.
+	MemoryBudget int64
+
 	taskRealNanos atomic.Int64 // serial time actually spent inside tasks
 	taskSimNanos  atomic.Int64 // simulated makespan of those stages
 	canceled      atomic.Bool
+	degradeLevel  atomic.Int32 // memory-governor ladder position
+
+	cancelMu  sync.Mutex
+	cancelErr error // cause recorded by the first CancelWith
 }
 
 // SimAdjustment returns the delta to add to a real elapsed measurement to
@@ -596,18 +655,43 @@ func (c *Context) SimAdjustment() time.Duration {
 
 // Cancel requests cooperative termination of the run; long-running
 // operators (nested-loop joins, exchanges, partition maps) observe it and
-// return ErrCanceled.
-func (c *Context) Cancel() { c.canceled.Store(true) }
+// return ErrCanceled. Workers re-check between tasks — one partition or
+// morsel is the cancellation latency bound on every execution path.
+func (c *Context) Cancel() { c.CancelWith(ErrCanceled) }
+
+// CancelWith is Cancel with an explicit cause: the error cooperative
+// checkpoints will return, e.g. a deadline error recorded by the session's
+// deadline watcher. The first cause wins; a nil cause falls back to
+// ErrCanceled. Callers that need errors.Is(err, ErrCanceled) to hold
+// should wrap the sentinel into their cause.
+func (c *Context) CancelWith(cause error) {
+	if cause == nil {
+		cause = ErrCanceled
+	}
+	c.cancelMu.Lock()
+	if c.cancelErr == nil {
+		c.cancelErr = cause
+	}
+	c.cancelMu.Unlock()
+	c.canceled.Store(true)
+}
 
 // Canceled reports whether Cancel was called.
 func (c *Context) Canceled() bool { return c.canceled.Load() }
 
-// CheckCanceled returns ErrCanceled after Cancel, nil otherwise.
+// CheckCanceled returns the cancellation cause after Cancel (ErrCanceled
+// unless CancelWith recorded one), nil otherwise.
 func (c *Context) CheckCanceled() error {
-	if c.Canceled() {
-		return ErrCanceled
+	if !c.canceled.Load() {
+		return nil
 	}
-	return nil
+	c.cancelMu.Lock()
+	err := c.cancelErr
+	c.cancelMu.Unlock()
+	if err == nil {
+		err = ErrCanceled
+	}
+	return err
 }
 
 // NewContext creates a context with the given executor count (minimum 1).
@@ -678,8 +762,19 @@ func (c *Context) mapPartitions(in *Dataset, fn ColumnarFn, splittable bool) (*D
 	if n == 0 {
 		return &Dataset{}, nil
 	}
+	if err := c.CheckBudget(); err != nil {
+		return nil, err
+	}
 	c.Metrics.AddStage()
+	// The stage number keys fault-injection and retry jitter. It comes from
+	// the metrics counter, which only driver-side round submissions bump —
+	// serially — so it is deterministic per plan, never per timing.
+	stage := c.Metrics.StagesExecuted()
 	morselMode := splittable && c.MorselParallel
+	// Under memory degradation the columnar sidecars are dropped: tasks see
+	// nil batches (the boxed path, bit-identical by the kernel ablation
+	// contract) and produce none, shrinking the live footprint.
+	dropSidecars := c.SidecarsDropped()
 
 	// Build the task list: one task per partition, or — in morsel mode —
 	// one per contiguous row range of a split partition. Tasks are built
@@ -694,6 +789,9 @@ func (c *Context) mapPartitions(in *Dataset, fn ColumnarFn, splittable bool) (*D
 	for p := 0; p < n; p++ {
 		part := in.Parts[p]
 		pb := in.BatchAt(p)
+		if dropSidecars {
+			pb = nil
+		}
 		bounds := [][2]int{{0, len(part)}}
 		if morselMode {
 			if mb := c.morselBounds(len(part)); mb != nil {
@@ -708,14 +806,17 @@ func (c *Context) mapPartitions(in *Dataset, fn ColumnarFn, splittable bool) (*D
 			if pb != nil {
 				mb = pb.Slice(lo, hi)
 			}
-			tasks = append(tasks, func() error {
+			tasks = append(tasks, c.taskAttempts(stage, int64(p), int64(s), func() error {
 				res, b, err := fn(p, rows, mb)
 				if err != nil {
 					return err
 				}
+				if c.SidecarsDropped() {
+					b = nil
+				}
 				results[p][s] = morselResult{rows: res, batch: b}
 				return nil
-			})
+			}))
 			homes = append(homes, p)
 		}
 	}
@@ -797,13 +898,19 @@ func (c *Context) RunMorsels(tasks []func() error) error {
 	if len(tasks) == 0 {
 		return nil
 	}
+	if err := c.CheckBudget(); err != nil {
+		return err
+	}
 	c.Metrics.AddStage()
+	stage := c.Metrics.StagesExecuted()
 	c.Metrics.AddMorsels(int64(len(tasks)))
+	wrapped := make([]func() error, len(tasks))
 	homes := make([]int, len(tasks))
-	for i := range homes {
+	for i := range tasks {
+		wrapped[i] = c.taskAttempts(stage, int64(i), 0, tasks[i])
 		homes[i] = i
 	}
-	return c.runTasks(tasks, homes)
+	return c.runTasks(wrapped, homes)
 }
 
 // runTasks executes one round of tasks under the context's execution mode:
@@ -837,6 +944,13 @@ func (c *Context) runTasks(tasks []func() error, homes []int) error {
 			c.Metrics.AddWorkerBusy(worker, d)
 			busy.Add(int64(d))
 		})
+		// The pool only knows the ErrCanceled sentinel; when the context
+		// recorded a richer cause (a deadline, a budget failure), surface it.
+		if errors.Is(err, ErrCanceled) {
+			if cause := c.CheckCanceled(); cause != nil {
+				err = cause
+			}
+		}
 		if err == nil {
 			wall := time.Since(start)
 			c.Metrics.AddStageTime(len(tasks), wall)
@@ -969,6 +1083,22 @@ func (c *Context) partitionTarget(rows int) int {
 	if rows == 0 {
 		return static
 	}
+	// Memory-governor level 2: collapse fan-out to the fewest partitions
+	// the cost model considers acceptable, so fewer partition buffers are
+	// live at once. Reuses the adaptive machinery (recorded like any other
+	// adaptive decision) rather than a separate path.
+	if c.fanoutCollapsed() {
+		chosen := cost.DegradedFanout(rows)
+		if chosen > static {
+			chosen = static
+		}
+		c.Metrics.AddAdaptiveDecision(AdaptiveDecision{Rows: rows, Static: static, Chosen: chosen})
+		c.Metrics.AddCostDecision(CostDecision{
+			Site: "exchange-target", Choice: "degraded", Rows: rows, Selectivity: -1,
+			Detail: fmt.Sprintf("memory budget: partitions=%d/%d", chosen, static),
+		})
+		return chosen
+	}
 	target := c.TargetRowsPerPartition
 	costChosen := false
 	if target <= 0 {
@@ -1092,12 +1222,17 @@ type KeyFunc func(types.Row) (types.Row, error)
 // so the global skyline above the gather can run decode-free. The
 // row-redistributing distributions drop the sidecar.
 func (c *Context) Exchange(in *Dataset, dist Distribution, key KeyFunc) (*Dataset, error) {
+	if err := c.CheckBudget(); err != nil {
+		return nil, err
+	}
 	c.Metrics.AddShuffled(int64(in.NumRows()))
 	switch dist {
 	case AllTuples:
 		out := NewDataset(in.Gather())
-		if b, ok := in.MergedSidecar(); ok {
-			out.Batches = []*skyline.Batch{b}
+		if !c.SidecarsDropped() {
+			if b, ok := in.MergedSidecar(); ok {
+				out.Batches = []*skyline.Batch{b}
+			}
 		}
 		return out, nil
 	case Unspecified:

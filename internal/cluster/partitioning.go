@@ -50,6 +50,9 @@ const (
 // ExchangePartitioned repartitions under the Grid or Angle distribution
 // and charges the shuffle to the metrics.
 func (c *Context) ExchangePartitioned(in *Dataset, dist Distribution, key KeyFunc, minimize []bool) (*Dataset, error) {
+	if err := c.CheckBudget(); err != nil {
+		return nil, err
+	}
 	c.Metrics.AddShuffled(int64(in.NumRows()))
 	return c.exchangePartitioned(in, dist, key, minimize)
 }
@@ -177,6 +180,9 @@ func (c *Context) exchangePartitioned(in *Dataset, dist Distribution, key KeyFun
 // same rounding. Every output partition carries its Batch.Select slice as
 // a columnar sidecar, so downstream local skylines run decode-free.
 func (c *Context) ExchangePartitionedColumnar(rows []types.Row, batch *skyline.Batch, dist Distribution) (*Dataset, error) {
+	if err := c.CheckBudget(); err != nil {
+		return nil, err
+	}
 	c.Metrics.AddShuffled(int64(len(rows)))
 	if len(rows) == 0 {
 		return &Dataset{}, nil
@@ -265,6 +271,7 @@ func (c *Context) ExchangePartitionedColumnar(rows []types.Row, batch *skyline.B
 	}
 
 	out := &Dataset{}
+	attach := !c.SidecarsDropped() // under memory degradation, buckets go boxed
 	for _, idx := range buckets {
 		if len(idx) == 0 {
 			continue
@@ -274,7 +281,9 @@ func (c *Context) ExchangePartitionedColumnar(rows []types.Row, batch *skyline.B
 			part[i] = rows[j]
 		}
 		out.Parts = append(out.Parts, part)
-		out.Batches = append(out.Batches, batch.Select(idx))
+		if attach {
+			out.Batches = append(out.Batches, batch.Select(idx))
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,322 @@
+package cluster
+
+// This file is the fault-tolerance layer of the task runtime: transient
+// error classification, bounded per-task retry with exponential backoff,
+// deterministic fault injection (internal/chaos), and the enforced memory
+// budget with its graceful-degradation ladder.
+//
+// Retry wraps the task closure itself, so every execution path — the
+// serial simulate loop, the per-stage goroutine loop, and the
+// work-stealing pool — gets identical semantics: a task attempt that fails
+// with an error classified transient is re-executed after a backoff, up to
+// Context.MaxTaskRetries times. Tasks are pure functions of their input
+// partition or morsel (the lineage contract narrow transforms already
+// satisfy), so re-execution is safe: a retried attempt overwrites its
+// result slot with the identical value. Errors that exhaust the retry
+// budget — or were never transient — surface wrapped in a TaskError naming
+// the stage, partition, and morsel, so a failed query reports where it
+// failed rather than a bare error.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"skysql/internal/chaos"
+)
+
+// ErrMemoryBudget is returned when a query's live materialized bytes
+// exceed Context.MemoryBudget after every degradation step has already
+// been taken. Budget failures are not transient: retrying the task would
+// re-exceed the budget.
+var ErrMemoryBudget = errors.New("cluster: query memory budget exceeded")
+
+// transientError marks an error as transient: a task failing with one is
+// retried (up to the budget) instead of failing the round.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err as transient, making it eligible for task retry.
+// Infrastructure-style failures (a lost executor, an injected fault) are
+// transient; query errors (a type mismatch in a predicate) are not and
+// must stay unwrapped so they fail fast.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is (or wraps) a transient error.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// TaskError is the failure of one task after its retry budget (if any) was
+// exhausted, carrying the scheduling coordinates of the failed work unit.
+type TaskError struct {
+	Stage     int64 // 1-based scheduled-round number
+	Partition int64 // partition index within the round
+	Morsel    int64 // morsel index within the partition (0 when unsplit)
+	Attempts  int64 // attempts made, including the first
+	Err       error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("cluster: stage %d partition %d morsel %d failed after %d attempt(s): %v",
+		e.Stage, e.Partition, e.Morsel, e.Attempts, e.Err)
+}
+
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// maxBackoff caps the exponential retry backoff so a deep retry chain
+// cannot stall a round for seconds.
+const maxBackoff = 50 * time.Millisecond
+
+// defaultBackoff is the base backoff when Context.RetryBackoff is unset.
+const defaultBackoff = 500 * time.Microsecond
+
+// taskAttempts wraps one task closure with the retry loop. stage is the
+// 1-based round number, (part, morsel) the task's coordinates within it.
+// The wrapper is installed on every execution path by runTasks' callers,
+// so pool rounds and goroutine rounds retry identically.
+func (c *Context) taskAttempts(stage, part, morsel int64, run func() error) func() error {
+	return func() error {
+		for attempt := int64(0); ; attempt++ {
+			if err := c.CheckCanceled(); err != nil {
+				return err
+			}
+			err := c.attemptTask(stage, part, morsel, attempt, run)
+			if err == nil {
+				return nil
+			}
+			// Cooperative verdicts pass through untouched: a canceled or
+			// budget-failed round is not a task failure.
+			if errors.Is(err, ErrCanceled) || errors.Is(err, ErrMemoryBudget) {
+				return err
+			}
+			if IsTransient(err) && attempt < int64(c.MaxTaskRetries) {
+				c.Metrics.AddTaskRetry()
+				c.backoff(stage, part, morsel, attempt)
+				continue
+			}
+			c.Metrics.AddTaskFailed()
+			return &TaskError{Stage: stage, Partition: part, Morsel: morsel, Attempts: attempt + 1, Err: err}
+		}
+	}
+}
+
+// attemptTask runs one attempt, applying the injector's verdict first:
+// straggler delay, allocation spike (charged to the metrics for the
+// attempt's duration, so the memory governor sees the pressure), then the
+// injected transient failure — before the real work, so an injected fault
+// leaves no partial results behind.
+func (c *Context) attemptTask(stage, part, morsel, attempt int64, run func() error) error {
+	if c.Injector != nil {
+		d := c.Injector.Decide(stage, part<<20|morsel, attempt)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+			// A straggler delay can span a deadline that fired after the
+			// attempt started; re-check so the worker's observed
+			// cancellation latency stays bounded by the injected delay.
+			if err := c.CheckCanceled(); err != nil {
+				return err
+			}
+		}
+		if d.AllocBytes > 0 {
+			c.Metrics.Alloc(d.AllocBytes)
+			defer c.Metrics.Free(d.AllocBytes)
+			if err := c.CheckBudget(); err != nil {
+				return err
+			}
+		}
+		if d.Fail {
+			c.Metrics.AddInjectedFault()
+			return Transient(fmt.Errorf("chaos: injected fault (stage %d partition %d morsel %d attempt %d)",
+				stage, part, morsel, attempt))
+		}
+	}
+	return run()
+}
+
+// backoff sleeps the exponential backoff before retry attempt+1: the base
+// doubles per attempt, capped at maxBackoff, plus deterministic jitter
+// (up to half the backoff) derived from the task key — no global RNG, so
+// chaos runs stay bit-reproducible.
+func (c *Context) backoff(stage, part, morsel, attempt int64) {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = defaultBackoff
+	}
+	d := base << uint(attempt)
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	half := int64(d / 2)
+	if half > 0 {
+		d += time.Duration(chaos.Mix(stage, part<<20|morsel, attempt, 0x6a09e667) % uint64(half))
+	}
+	time.Sleep(d)
+}
+
+// Degradation ladder levels of the memory governor.
+const (
+	degradeNone         int32 = iota
+	degradeDropSidecars       // columnar sidecars no longer attached (boxed path, bit-identical)
+	degradeCollapseFans       // exchange fan-out collapsed to the minimum partition count
+)
+
+// SidecarsDropped reports whether the memory governor's first degradation
+// step fired: datasets then stop carrying columnar sidecars and fused
+// stages stop decoding at the scan, trading decode-once speed for the
+// boxed path's smaller footprint. Results are bit-identical by the kernel
+// ablation contract.
+func (c *Context) SidecarsDropped() bool {
+	return c.degradeLevel.Load() >= degradeDropSidecars
+}
+
+// fanoutCollapsed reports whether the governor's second step fired:
+// exchanges then fan out to the fewest partitions that still bound each
+// task's working set instead of the executor count.
+func (c *Context) fanoutCollapsed() bool {
+	return c.degradeLevel.Load() >= degradeCollapseFans
+}
+
+// CheckBudget enforces Context.MemoryBudget against the live-bytes
+// counter, degrading gracefully before failing: above 60% of the budget it
+// drops columnar sidecars, above 80% it collapses exchange fan-out, and
+// only when the budget is exceeded with both steps already taken does it
+// return ErrMemoryBudget. Each escalation is recorded in the metrics
+// (Metrics.DegradationSteps). Called at every cooperative checkpoint —
+// round scheduling, exchanges, injected allocation spikes — so workers
+// observe the budget with bounded latency. No-op when MemoryBudget <= 0.
+func (c *Context) CheckBudget() error {
+	if c.MemoryBudget <= 0 {
+		return nil
+	}
+	live := c.Metrics.LiveBytes()
+	if c.degradeLevel.Load() >= degradeCollapseFans && live > c.MemoryBudget {
+		return fmt.Errorf("%w: %d bytes live, budget %d (sidecars dropped, fan-out collapsed)",
+			ErrMemoryBudget, live, c.MemoryBudget)
+	}
+	for {
+		level := c.degradeLevel.Load()
+		if level >= degradeCollapseFans {
+			return nil
+		}
+		// Escalation thresholds: 60% for the first step, 80% for the second.
+		threshold := c.MemoryBudget * int64(6+2*level) / 10
+		if live <= threshold {
+			return nil
+		}
+		if c.degradeLevel.CompareAndSwap(level, level+1) {
+			step := "drop-sidecars"
+			if level+1 == degradeCollapseFans {
+				step = "collapse-fanout"
+			}
+			c.Metrics.AddDegradation(fmt.Sprintf("%s (live=%d, budget=%d)", step, live, c.MemoryBudget))
+		}
+	}
+}
+
+// ---- Fault-tolerance metrics ----
+
+// AddTaskRetry records one retried task attempt.
+func (m *Metrics) AddTaskRetry() {
+	if m != nil {
+		m.taskRetries.Add(1)
+	}
+}
+
+// TaskRetries returns the number of task attempts that were retried after
+// a transient failure. Deterministic under fault injection (decisions are
+// pure functions of the task key), so benchdiff gates on it.
+func (m *Metrics) TaskRetries() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.taskRetries.Load()
+}
+
+// AddTaskFailed records one task that failed permanently (retry budget
+// exhausted, or a non-transient error).
+func (m *Metrics) AddTaskFailed() {
+	if m != nil {
+		m.tasksFailed.Add(1)
+	}
+}
+
+// TasksFailed returns the number of permanently failed tasks.
+func (m *Metrics) TasksFailed() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.tasksFailed.Load()
+}
+
+// AddInjectedFault records one chaos-injected transient task failure.
+func (m *Metrics) AddInjectedFault() {
+	if m != nil {
+		m.injectedFaults.Add(1)
+	}
+}
+
+// InjectedFaults returns the number of chaos-injected task failures.
+// Deterministic per (seed, plan), so benchdiff gates on it.
+func (m *Metrics) InjectedFaults() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.injectedFaults.Load()
+}
+
+// AddDegradation records one memory-governor escalation, in order.
+func (m *Metrics) AddDegradation(step string) {
+	if m == nil {
+		return
+	}
+	m.degradeSteps.Add(1)
+	m.mu.Lock()
+	m.degrade = append(m.degrade, step)
+	m.mu.Unlock()
+}
+
+// DegradationSteps returns the number of memory-governor escalations.
+func (m *Metrics) DegradationSteps() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.degradeSteps.Load()
+}
+
+// Degradations returns the recorded escalation steps, in order.
+func (m *Metrics) Degradations() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.degrade))
+	copy(out, m.degrade)
+	return out
+}
+
+// FormatFaults renders the fault-tolerance counters for EXPLAIN and the
+// shell ("" when nothing fault-related happened).
+func (m *Metrics) FormatFaults() string {
+	if m.TaskRetries() == 0 && m.TasksFailed() == 0 && m.InjectedFaults() == 0 && m.DegradationSteps() == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("task retries: %d, injected faults: %d, tasks failed: %d\n",
+		m.TaskRetries(), m.InjectedFaults(), m.TasksFailed())
+	if steps := m.Degradations(); len(steps) > 0 {
+		s += "degradation steps:\n"
+		for _, st := range steps {
+			s += "  " + st + "\n"
+		}
+	}
+	return s
+}

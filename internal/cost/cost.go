@@ -342,3 +342,22 @@ func ExchangeTarget(rows, executors int) int {
 	}
 	return per
 }
+
+// DegradedFanoutRows is the rows-per-partition target the memory governor
+// collapses exchanges to: large enough that partition count (and with it
+// the number of concurrently-live shuffle buffers) drops well below the
+// executor count, small enough that a single task's working set stays
+// bounded.
+const DegradedFanoutRows = 64 * 1024
+
+// DegradedFanout picks the post-exchange partition count under memory
+// degradation: one partition per DegradedFanoutRows rows, minimum one.
+// Parallelism is sacrificed for footprint — callers additionally clamp to
+// the executor count.
+func DegradedFanout(rows int) int {
+	n := (rows + DegradedFanoutRows - 1) / DegradedFanoutRows
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

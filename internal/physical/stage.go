@@ -170,7 +170,9 @@ func (p *PipelineExec) tailFn(ctx *cluster.Context) ColumnarPartitionFn {
 		stats = &ctx.Metrics.Sky
 	}
 	return func(i int, part []types.Row, b *skyline.Batch) ([]types.Row, *skyline.Batch, error) {
-		if spec != nil && b == nil && len(part) > 0 {
+		// Checked at call time, not plan time: the memory governor may drop
+		// sidecars mid-run, and later tasks must then skip the eager decode.
+		if spec != nil && b == nil && len(part) > 0 && !ctx.SidecarsDropped() {
 			if db, ok := spec.decodeSourceBatch(part, stats); ok {
 				b = db
 				ctx.Metrics.Alloc(db.MemSize())

@@ -1,0 +1,225 @@
+package skysql_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"skysql"
+)
+
+// wideSession builds a session over a table large enough that queries
+// schedule real multi-task rounds (and, unconfigured, run on the session's
+// worker pool).
+func wideSession(t testing.TB, opts ...skysql.Option) *skysql.Session {
+	sess := skysql.NewSession(opts...)
+	t.Cleanup(sess.Close)
+	schema := skysql.NewSchema(
+		skysql.Field{Name: "a", Type: skysql.KindInt},
+		skysql.Field{Name: "b", Type: skysql.KindInt},
+		skysql.Field{Name: "c", Type: skysql.KindInt},
+	)
+	r := rand.New(rand.NewSource(17))
+	rows := make([]skysql.Row, 600)
+	for i := range rows {
+		rows[i] = skysql.Row{
+			skysql.Int(int64(r.Intn(40))),
+			skysql.Int(int64(r.Intn(40))),
+			skysql.Int(int64(r.Intn(5))),
+		}
+	}
+	if err := sess.CreateTable("wide", schema, rows); err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+const wideSkyline = "SELECT a, b FROM wide WHERE c < 4 SKYLINE OF a MIN, b MAX"
+
+// TestFaultInjectionBitIdentical is the public-API chaos contract: a
+// session with deterministic fault injection at rate 0.3 must return
+// exactly the rows of a fault-free session, with the injected faults and
+// retries visible in the metrics — and repeat runs must reproduce the
+// counters bit-for-bit.
+func TestFaultInjectionBitIdentical(t *testing.T) {
+	clean := wideSession(t)
+	want, err := clean.Query(wideSkyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed 2 deterministically injects faults for this plan's task keys;
+	// most seeds draw none over so few (stage, partition) tuples, and the
+	// reproducibility assertion below needs non-zero counters to mean
+	// anything.
+	cfg := skysql.FaultInjection{
+		Seed:            2,
+		FaultRate:       0.3,
+		StragglerRate:   0.05,
+		StragglerDelay:  50 * time.Microsecond,
+		AllocSpikeRate:  0.05,
+		AllocSpikeBytes: 1 << 16,
+	}
+	var faults, retries int64
+	for run := 0; run < 3; run++ {
+		chaotic := wideSession(t, skysql.WithFaultInjection(cfg), skysql.WithTaskRetries(12))
+		df, err := chaotic.SQL(wideSkyline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := df.Collect()
+		if err != nil {
+			t.Fatalf("run %d: chaotic collect: %v", run, err)
+		}
+		if fmt.Sprint(rowsToStrings(got)) != fmt.Sprint(rowsToStrings(want)) {
+			t.Fatalf("run %d: chaotic rows differ:\n got %v\nwant %v", run, got, want)
+		}
+		m := df.Metrics()
+		if run == 0 {
+			faults, retries = m.InjectedFaults(), m.TaskRetries()
+			if faults == 0 {
+				t.Fatal("injector fired no faults at rate 0.3")
+			}
+		} else if m.InjectedFaults() != faults || m.TaskRetries() != retries {
+			t.Errorf("run %d: counters (%d, %d) != run 0 (%d, %d) — chaos not reproducible",
+				run, m.InjectedFaults(), m.TaskRetries(), faults, retries)
+		}
+	}
+}
+
+// TestFaultInjectionSimulated repeats the contract in discrete-event mode,
+// where rounds run serially — the injector must behave identically.
+func TestFaultInjectionSimulated(t *testing.T) {
+	clean := wideSession(t, skysql.WithSimulatedTime())
+	want, err := clean.Query(wideSkyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic := wideSession(t, skysql.WithSimulatedTime(),
+		skysql.WithFaultInjection(skysql.FaultInjection{Seed: 2, FaultRate: 0.3}),
+		skysql.WithTaskRetries(12))
+	got, err := chaotic.Query(wideSkyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rowsToStrings(got)) != fmt.Sprint(rowsToStrings(want)) {
+		t.Fatalf("simulated chaotic rows differ:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestRetryExhaustionSurfacesTaskError pins the error-propagation
+// satellite: at fault rate 1 every attempt of some task fails, and the
+// error out of Collect must be a TaskError naming the failed work unit —
+// not a bare ErrCanceled.
+func TestRetryExhaustionSurfacesTaskError(t *testing.T) {
+	sess := wideSession(t,
+		skysql.WithFaultInjection(skysql.FaultInjection{Seed: 1, FaultRate: 1}),
+		skysql.WithTaskRetries(2))
+	_, err := sess.Query(wideSkyline)
+	if err == nil {
+		t.Fatal("rate-1 injection with a budget of 2 retries must fail")
+	}
+	var te *skysql.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v does not carry a TaskError", err)
+	}
+	if te.Attempts != 3 || te.Stage < 1 {
+		t.Errorf("TaskError = %+v, want 3 attempts on a real stage", te)
+	}
+	if errors.Is(err, skysql.ErrCanceled) {
+		t.Errorf("permanent task failure surfaced as cancellation: %v", err)
+	}
+}
+
+// TestQueryTimeout checks WithQueryTimeout cancels a running query and the
+// error wraps both sentinels.
+func TestQueryTimeout(t *testing.T) {
+	sess := wideSession(t, skysql.WithQueryTimeout(200*time.Microsecond),
+		// Stragglers stretch every task so the deadline reliably lands
+		// mid-run without a huge dataset.
+		skysql.WithFaultInjection(skysql.FaultInjection{Seed: 2, StragglerRate: 1, StragglerDelay: 5 * time.Millisecond}))
+	_, err := sess.Query("SELECT a, b FROM wide SKYLINE OF a MIN, b MAX")
+	if err == nil {
+		t.Fatal("query outlived a 200µs deadline with 5ms stragglers")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("timeout error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if !errors.Is(err, skysql.ErrCanceled) {
+		t.Errorf("timeout error %v does not wrap ErrCanceled", err)
+	}
+}
+
+// TestCollectContext checks per-call contexts: a canceled context fails
+// immediately, an unconstrained one collects normally.
+func TestCollectContext(t *testing.T) {
+	sess := wideSession(t)
+	df, err := sess.SQL(wideSkyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := df.CollectContext(canceled); !errors.Is(err, context.Canceled) || !errors.Is(err, skysql.ErrCanceled) {
+		t.Errorf("pre-canceled collect returned %v, want both cancellation sentinels", err)
+	}
+	rows, err := df.CollectContext(context.Background())
+	if err != nil {
+		t.Fatalf("plain CollectContext: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Error("empty skyline")
+	}
+}
+
+// TestMemoryBudgetDegradesGracefully sizes a budget between the soft
+// thresholds and the observed peak: the query must still succeed with
+// identical rows, sidecars dropped and the degradation steps on record.
+func TestMemoryBudgetDegradesGracefully(t *testing.T) {
+	free := wideSession(t)
+	df, err := free.SQL(wideSkyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := df.Metrics().PeakBytes()
+	if peak == 0 {
+		t.Fatal("unbudgeted run recorded no peak bytes")
+	}
+
+	sess := wideSession(t, skysql.WithMemoryBudget(peak+peak/4))
+	bdf, err := sess.SQL(wideSkyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bdf.Collect()
+	if err != nil {
+		t.Fatalf("budgeted collect: %v", err)
+	}
+	if fmt.Sprint(rowsToStrings(got)) != fmt.Sprint(rowsToStrings(want)) {
+		t.Fatalf("degraded rows differ:\n got %v\nwant %v", got, want)
+	}
+	m := bdf.Metrics()
+	if m.DegradationSteps() == 0 {
+		t.Error("budget near the peak never degraded — tighten the test budget")
+	}
+	if m.PeakBytes() > peak+peak/4 {
+		t.Errorf("degraded run peaked at %d bytes over its %d budget", m.PeakBytes(), peak+peak/4)
+	}
+}
+
+// TestMemoryBudgetExceededFails pins the hard limit: a budget far below
+// any feasible footprint fails with ErrMemoryBudget after degrading.
+func TestMemoryBudgetExceededFails(t *testing.T) {
+	sess := wideSession(t, skysql.WithMemoryBudget(64))
+	_, err := sess.Query(wideSkyline)
+	if !errors.Is(err, skysql.ErrMemoryBudget) {
+		t.Fatalf("64-byte budget returned %v, want ErrMemoryBudget", err)
+	}
+}

@@ -1,11 +1,14 @@
 package skysql
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"skysql/internal/catalog"
+	"skysql/internal/chaos"
 	"skysql/internal/cluster"
 	"skysql/internal/core"
 	"skysql/internal/physical"
@@ -28,6 +31,10 @@ type Session struct {
 	noAdaptive   bool
 	noMorsel     bool
 	poolSize     int
+	injector     *chaos.Injector
+	taskRetries  int
+	queryTimeout time.Duration
+	memoryBudget int64
 
 	poolMu sync.Mutex
 	pool   *cluster.WorkerPool
@@ -162,12 +169,66 @@ func WithoutMorselParallelism() Option {
 	return func(s *Session) { s.noMorsel = true }
 }
 
+// WithFaultInjection enables deterministic chaos testing: every task
+// attempt of every query consults a seedable injector that may fail it
+// with a transient error (retried under the task-retry budget), delay it
+// like a straggler, or charge a transient allocation spike against the
+// memory governor. Decisions are pure functions of (seed, stage, task,
+// attempt), so a chaos run is bit-reproducible: same seed, same plan —
+// same faults, same retry counters, same results.
+func WithFaultInjection(cfg FaultInjection) Option {
+	return func(s *Session) { s.injector = chaos.New(cfg) }
+}
+
+// WithTaskRetries bounds per-task re-execution after transient failures
+// (default 3; 0 disables retry, failing the query on the first transient
+// error exactly as before retries existed). Only errors classified
+// transient (cluster.Transient / injected faults) are retried; query
+// errors fail fast.
+func WithTaskRetries(n int) Option {
+	return func(s *Session) {
+		if n >= 0 {
+			s.taskRetries = n
+		}
+	}
+}
+
+// WithQueryTimeout bounds the wall-clock time of every Collect: past the
+// deadline the run is cooperatively canceled (workers observe it between
+// morsels) and the query fails with an error wrapping both ErrCanceled and
+// context.DeadlineExceeded. 0 (the default) means no deadline. Per-call
+// deadlines can instead be passed via DataFrame.CollectContext.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Session) {
+		if d > 0 {
+			s.queryTimeout = d
+		}
+	}
+}
+
+// WithMemoryBudget enforces a per-query cap on live materialized bytes
+// (the quantity Metrics.PeakBytes observes). The engine degrades
+// gracefully before failing: past 60% of the budget it drops columnar
+// sidecars (boxed execution, bit-identical results), past 80% it
+// collapses exchange fan-out to shrink concurrently-live buffers, and
+// only an excess with both steps already taken fails the query with
+// ErrMemoryBudget. Degradation steps are recorded in Metrics. 0 (the
+// default) disables enforcement.
+func WithMemoryBudget(bytes int64) Option {
+	return func(s *Session) {
+		if bytes > 0 {
+			s.memoryBudget = bytes
+		}
+	}
+}
+
 // NewSession creates a session with an empty catalog.
 func NewSession(opts ...Option) *Session {
 	s := &Session{
-		engine:    core.NewEngine(catalog.New()),
-		executors: 4,
-		strategy:  Auto,
+		engine:      core.NewEngine(catalog.New()),
+		executors:   4,
+		strategy:    Auto,
+		taskRetries: 3,
 	}
 	for _, o := range opts {
 		o(s)
@@ -306,6 +367,13 @@ func (s *Session) RewriteSkyline(query string, incomplete bool) (string, error) 
 
 // run executes a compiled query with the session configuration.
 func (s *Session) run(c *core.Compiled) (*core.Result, error) {
+	return s.runCtx(context.Background(), c)
+}
+
+// runCtx executes a compiled query under a Go context: cancellation and
+// deadlines (the caller's, plus WithQueryTimeout) map onto the cluster
+// context's cooperative cancel, which workers observe between morsels.
+func (s *Session) runCtx(goCtx context.Context, c *core.Compiled) (*core.Result, error) {
 	ctx := cluster.NewContext(s.executors)
 	ctx.Simulate = s.simulate
 	ctx.AdaptiveExchange = !s.noAdaptive
@@ -315,6 +383,9 @@ func (s *Session) run(c *core.Compiled) (*core.Result, error) {
 	}
 	ctx.DecodeAtScan = !s.noVector && !s.noKernel
 	ctx.MorselParallel = !s.noMorsel
+	ctx.Injector = s.injector
+	ctx.MaxTaskRetries = s.taskRetries
+	ctx.MemoryBudget = s.memoryBudget
 	if !s.simulate && !s.noMorsel {
 		// Simulated runs time tasks serially and model the parallelism with
 		// the makespan greedy assignment; only real runs use the pool. A
@@ -325,6 +396,28 @@ func (s *Session) run(c *core.Compiled) (*core.Result, error) {
 		} else {
 			ctx.MorselParallel = false
 		}
+	}
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		goCtx, cancel = context.WithTimeout(goCtx, s.queryTimeout)
+		defer cancel()
+	}
+	if err := goCtx.Err(); err != nil {
+		return nil, fmt.Errorf("skysql: %w: %w", cluster.ErrCanceled, err)
+	}
+	if goCtx.Done() != nil {
+		// Watcher mapping ctx.Done() onto the cooperative cancel. The
+		// recorded cause wraps both sentinels, so callers can match either
+		// errors.Is(err, context.DeadlineExceeded) or ErrCanceled.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-goCtx.Done():
+				ctx.CancelWith(fmt.Errorf("skysql: %w: %w", cluster.ErrCanceled, goCtx.Err()))
+			case <-stop:
+			}
+		}()
 	}
 	return s.engine.RunCtx(c, ctx)
 }

@@ -144,10 +144,49 @@
 // skybench -json; `skybench -experiment parallel` sweeps worker counts
 // over correlated, anti-correlated, and skewed workloads
 // (BENCH_PR6.json), with the deterministic morsel counts benchdiff-gated.
+//
+// # Fault-tolerant execution
+//
+// The runtime inherits Spark's defining robustness property: tasks are
+// pure functions of their input partition or morsel, so a failed task is
+// simply re-executed from lineage. The fault-tolerance contract is:
+//
+//   - What is retried: task attempts failing with an error classified
+//     transient (cluster.Transient / IsTransient — infrastructure-style
+//     failures, including injected chaos faults) are re-executed with
+//     exponential backoff and deterministic jitter, up to the
+//     WithTaskRetries budget (default 3), on every execution path —
+//     simulated, goroutine rounds, and the work-stealing pool. Retried
+//     runs are bit-identical to fault-free runs (contract-tested at fault
+//     rates up to 0.3 across every strategy × fusion × kernel ×
+//     vectorization ablation, under the race detector).
+//
+//   - What degrades: under a WithMemoryBudget cap, live materialized
+//     bytes past 60% of the budget drop the columnar sidecars (boxed
+//     execution — bit-identical, just slower), and past 80% exchanges
+//     collapse their fan-out to shrink concurrently-live buffers. Both
+//     steps land in Metrics.Degradations.
+//
+//   - What fails: non-transient errors fail fast; a task exhausting its
+//     retry budget fails the query with a cluster.TaskError naming the
+//     stage, partition, morsel, and attempt count; and a budget excess
+//     with both degradation steps already taken fails with
+//     ErrMemoryBudget. Deadlines (WithQueryTimeout, CollectContext) cancel
+//     cooperatively between morsels, surfacing an error wrapping both
+//     context.DeadlineExceeded and cluster.ErrCanceled.
+//
+// WithFaultInjection wires a deterministic chaos injector (seeded;
+// decisions are pure functions of (seed, stage, task, attempt)) through
+// every task attempt, so chaos runs are bit-reproducible: the
+// TaskRetries/InjectedFaults/TasksFailed/DegradationSteps counters in
+// Metrics — surfaced by EXPLAIN, the shell's \s, and skybench -json —
+// repeat exactly, and `skybench -experiment chaos` sweeps fault rate ×
+// retry budget (BENCH_PR7.json) with those counters benchdiff-gated.
 package skysql
 
 import (
 	"skysql/internal/catalog"
+	"skysql/internal/chaos"
 	"skysql/internal/cluster"
 	"skysql/internal/physical"
 	"skysql/internal/types"
@@ -167,6 +206,24 @@ type (
 	Schema = types.Schema
 	// Metrics carries execution counters of the last Collect.
 	Metrics = cluster.Metrics
+	// FaultInjection configures WithFaultInjection: a seed plus rates for
+	// transient task errors, straggler delays, and allocation spikes. The
+	// zero value injects nothing.
+	FaultInjection = chaos.Config
+	// TaskError is the permanent failure of one task (retry budget
+	// exhausted or a non-transient error), carrying the stage, partition,
+	// morsel, and attempt count; match with errors.As.
+	TaskError = cluster.TaskError
+)
+
+// Sentinel errors of the fault-tolerance contract; match with errors.Is.
+var (
+	// ErrCanceled is wrapped by every cooperative-cancellation failure
+	// (deadlines, canceled CollectContext, explicit cancels).
+	ErrCanceled = cluster.ErrCanceled
+	// ErrMemoryBudget is returned when a query exceeds WithMemoryBudget
+	// after every degradation step has been taken.
+	ErrMemoryBudget = cluster.ErrMemoryBudget
 )
 
 // Column kinds.
