@@ -53,6 +53,12 @@ var counters = []counter{
 	{"task_retries", func(r bench.Record) int64 { return r.TaskRetries }, true},
 	{"injected_faults", func(r bench.Record) int64 { return r.InjectedFaults }, true},
 	{"degradation_steps", func(r bench.Record) int64 { return r.DegradationSteps }, true},
+	// Zone-map pruning decisions are pure functions of (footer, predicate):
+	// fewer pruned segments means the scan decoded work it used to skip.
+	// Spilled-segment counts depend only on the partition layout at the
+	// budgeted gather, so more spills means the governor degraded earlier.
+	{"segments_pruned", func(r bench.Record) int64 { return r.SegmentsPruned }, false},
+	{"segments_spilled", func(r bench.Record) int64 { return r.SegmentsSpilled }, true},
 }
 
 // identity is the matching key of a record: every field that names the

@@ -1,11 +1,15 @@
-// Command datagen writes the evaluation datasets to CSV so they can be
-// inspected or loaded into other systems.
+// Command datagen writes the evaluation datasets to CSV — or, with
+// -segments, streams them straight into paged columnar segment files
+// (internal/storage) so datasets far larger than memory are generatable
+// on CI-sized machines: with the synthetic generator only one segment's
+// rows are ever resident.
 //
 // Usage:
 //
 //	datagen -dataset airbnb -rows 20000 -out airbnb.csv
 //	datagen -dataset store_sales -rows 100000 -complete -out ss.csv
 //	datagen -dataset musicbrainz -rows 8000 -out mb   # writes mb_*.csv
+//	datagen -dataset synthetic -dist anti -rows 10000000 -segments -out segs/
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 
 	"skysql/internal/catalog"
 	"skysql/internal/datagen"
+	"skysql/internal/storage"
+	"skysql/internal/types"
 )
 
 func main() {
@@ -25,7 +31,9 @@ func main() {
 		complete = flag.Bool("complete", false, "generate the complete (NULL-free) variant")
 		dist     = flag.String("dist", "independent", "synthetic distribution: independent | correlated | anti")
 		dims     = flag.Int("dims", 4, "synthetic dimension count")
-		out      = flag.String("out", "", "output file (or prefix for musicbrainz)")
+		out      = flag.String("out", "", "output file (or prefix for musicbrainz; directory with -segments)")
+		segments = flag.Bool("segments", false, "write columnar segment files into the -out directory instead of CSV")
+		segRows  = flag.Int("segrows", 0, "rows per segment (default 65536)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -33,6 +41,10 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := datagen.Config{Rows: *rows, Seed: *seed, Complete: *complete}
+	if *segments {
+		writeSegments(*dataset, *dist, *dims, *segRows, *out, cfg)
+		return
+	}
 	write := func(path string, t *catalog.Table) {
 		f, err := os.Create(path)
 		if err != nil {
@@ -72,6 +84,68 @@ func main() {
 		write(*out, datagen.Synthetic(d, *rows, *dims, cfg))
 	default:
 		fmt.Fprintln(os.Stderr, "datagen: unknown -dataset", *dataset)
+		os.Exit(2)
+	}
+}
+
+// writeSegments streams the dataset into segment files under dir. The
+// synthetic generator streams row by row — only one segment's rows are
+// buffered at a time, so 10M-point datasets generate in constant memory;
+// the fixed datasets (which materialize anyway) encode via the same
+// writer.
+func writeSegments(dataset, dist string, dims, segRows int, dir string, cfg datagen.Config) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	write := func(name string, schema *types.Schema, stream func(yield func(types.Row) error) error) {
+		w := storage.NewWriter(schema, dir, name, segRows)
+		if err := stream(w.Append); err != nil {
+			fail(err)
+		}
+		store, err := w.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s under %s (%d rows, %d segments)\n",
+			name, dir, store.Rows(), len(store.Segments()))
+	}
+	writeTable := func(name string, t *catalog.Table) {
+		write(name, t.Schema, func(yield func(types.Row) error) error {
+			for _, r := range t.Rows {
+				if err := yield(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	switch dataset {
+	case "airbnb":
+		writeTable("airbnb", datagen.Airbnb(cfg))
+	case "store_sales":
+		writeTable("store_sales", datagen.StoreSales(cfg))
+	case "synthetic":
+		var d datagen.Distribution
+		switch dist {
+		case "independent":
+			d = datagen.Independent
+		case "correlated":
+			d = datagen.Correlated
+		case "anti":
+			d = datagen.AntiCorrelated
+		default:
+			fmt.Fprintln(os.Stderr, "datagen: unknown -dist", dist)
+			os.Exit(2)
+		}
+		write("t", datagen.SyntheticSchema(dims, cfg), func(yield func(types.Row) error) error {
+			return datagen.SyntheticStream(d, cfg.Rows, dims, cfg, yield)
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "datagen: -segments supports airbnb, store_sales, synthetic; got", dataset)
 		os.Exit(2)
 	}
 }

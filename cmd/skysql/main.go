@@ -125,6 +125,9 @@ func execute(sess *skysql.Session, query string, explain, showStages bool) error
 			if fs := m.FormatFaults(); fs != "" {
 				fmt.Print(fs)
 			}
+			if sg := m.FormatSegments(); sg != "" {
+				fmt.Println(sg)
+			}
 		}
 	}
 	return nil

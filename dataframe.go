@@ -354,6 +354,9 @@ func (df *DataFrame) Explain() (string, error) {
 		if fs := df.metrics.FormatFaults(); fs != "" {
 			out += fs
 		}
+		if sg := df.metrics.FormatSegments(); sg != "" {
+			out += sg + "\n"
+		}
 	}
 	return out, nil
 }

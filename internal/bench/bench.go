@@ -159,9 +159,15 @@ type Measurement struct {
 	// DegradationLog lists them in order.
 	DegradationSteps int64
 	DegradationLog   []string
-	ResultRows       int
-	TimedOut         bool
-	Err              error
+	// SegmentsPruned counts storage segments skipped by zone-map pruning
+	// before decode; SegmentsSpilled counts gather inputs written to
+	// temporary segments under memory pressure. Both are pure functions of
+	// (data, plan, budget), so benchdiff gates on them.
+	SegmentsPruned  int64
+	SegmentsSpilled int64
+	ResultRows      int
+	TimedOut        bool
+	Err             error
 }
 
 // Seconds returns the runtime in seconds (for chart-style output).
@@ -345,6 +351,8 @@ func (c Config) fill(m *Measurement, res *core.Result) {
 	m.InjectedFaults = res.Metrics.InjectedFaults()
 	m.DegradationSteps = res.Metrics.DegradationSteps()
 	m.DegradationLog = res.Metrics.Degradations()
+	m.SegmentsPruned = res.Metrics.SegmentsPruned()
+	m.SegmentsSpilled = res.Metrics.SegmentsSpilled()
 	m.PeakModelMB = c.ExecutorOverheadMB*float64(m.Spec.Executors) + float64(m.PeakDataBytes)/1e6
 	m.ResultRows = len(res.Rows)
 }

@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{"costgate", "Cost-gated adaptive planning — decode-at-scan gate + cost-chosen adaptive exchanges", runCostGate},
 		{"parallel", "Morsel-driven parallel runtime — work-stealing morsel scheduling vs whole-partition tasks", runParallel},
 		{"chaos", "Fault-tolerant task runtime — deterministic fault injection over fault rate × retry budget", runChaos},
+		{"storage", "Out-of-core columnar segments — zone-map pruning and governed spill vs in-memory", runStorage},
 	}
 }
 

@@ -79,9 +79,15 @@ type Record struct {
 	// steps in order, informationally.
 	DegradationSteps int64    `json:"degradation_steps,omitempty"`
 	DegradationLog   []string `json:"degradation_log,omitempty"`
-	ResultRows       int      `json:"result_rows"`
-	TimedOut         bool     `json:"timed_out"`
-	Error            string   `json:"error,omitempty"`
+	// SegmentsPruned counts storage segments skipped by zone-map pruning;
+	// SegmentsSpilled counts gather inputs spilled to temporary segments
+	// under memory pressure. Deterministic per (data, plan, budget) —
+	// benchdiff gates on both.
+	SegmentsPruned  int64  `json:"segments_pruned,omitempty"`
+	SegmentsSpilled int64  `json:"segments_spilled,omitempty"`
+	ResultRows      int    `json:"result_rows"`
+	TimedOut        bool   `json:"timed_out"`
+	Error           string `json:"error,omitempty"`
 }
 
 // NewRecord flattens a measurement into a record tagged with the
@@ -124,6 +130,8 @@ func NewRecord(experiment string, m Measurement) Record {
 		InjectedFaults:      m.InjectedFaults,
 		DegradationSteps:    m.DegradationSteps,
 		DegradationLog:      m.DegradationLog,
+		SegmentsPruned:      m.SegmentsPruned,
+		SegmentsSpilled:     m.SegmentsSpilled,
 		ResultRows:          m.ResultRows,
 		TimedOut:            m.TimedOut,
 	}

@@ -9,14 +9,20 @@ import (
 	"strings"
 	"sync"
 
+	"skysql/internal/storage"
 	"skysql/internal/types"
 )
 
-// Table is a named relation with a schema and materialized rows.
+// Table is a named relation with a schema and either materialized rows or
+// a segment-backed store (exactly one of Rows / Segments is set). A
+// segment-backed table holds no rows in memory: scans stream its segments
+// (pruning against zone maps first) and statistics come from the
+// persisted footers.
 type Table struct {
-	Name   string
-	Schema *types.Schema
-	Rows   []types.Row
+	Name     string
+	Schema   *types.Schema
+	Rows     []types.Row
+	Segments *storage.Store
 }
 
 // NewTable creates a table, validating that each row matches the schema
@@ -29,6 +35,21 @@ func NewTable(name string, schema *types.Schema, rows []types.Row) (*Table, erro
 		}
 	}
 	return &Table{Name: strings.ToLower(name), Schema: schema, Rows: rows}, nil
+}
+
+// NewSegmentTable creates a table backed by a segment store instead of
+// materialized rows.
+func NewSegmentTable(name string, store *storage.Store) *Table {
+	return &Table{Name: strings.ToLower(name), Schema: store.Schema(), Segments: store}
+}
+
+// RowCount is the table's total row count — len(Rows) for in-memory
+// tables, the summed footer counts for segment-backed ones (no decode).
+func (t *Table) RowCount() int {
+	if t.Segments != nil {
+		return t.Segments.Rows()
+	}
+	return len(t.Rows)
 }
 
 // Catalog maps table names to tables. It is safe for concurrent use.
@@ -83,6 +104,14 @@ func (c *Catalog) Names() []string {
 // either trust declared metadata, call this to derive it, or override at
 // query level with the COMPLETE keyword.
 func (t *Table) InferNullability() {
+	if t.Segments != nil {
+		// Segment-backed: the footers' exact null counts answer without
+		// decoding a single page.
+		for i := range t.Schema.Fields {
+			t.Schema.Fields[i].Nullable = t.Segments.Nullable(i)
+		}
+		return
+	}
 	for i := range t.Schema.Fields {
 		t.Schema.Fields[i].Nullable = false
 	}

@@ -18,6 +18,7 @@ import (
 	"skysql/internal/chaos"
 	"skysql/internal/cost"
 	"skysql/internal/skyline"
+	"skysql/internal/storage"
 	"skysql/internal/types"
 )
 
@@ -129,6 +130,9 @@ type Metrics struct {
 	injectedFaults atomic.Int64
 	degradeSteps   atomic.Int64
 
+	segmentsPruned  atomic.Int64
+	segmentsSpilled atomic.Int64
+
 	mu         sync.Mutex
 	stageTimes []StageTime
 	adaptive   []AdaptiveDecision
@@ -139,6 +143,56 @@ type Metrics struct {
 	// Sky aggregates dominance-test counts across all skyline operators in
 	// the query.
 	Sky skyline.Stats
+}
+
+// AddSegmentsPruned records n segments skipped by zone-map pruning before
+// any page was decoded.
+func (m *Metrics) AddSegmentsPruned(n int64) {
+	if m != nil && n != 0 {
+		m.segmentsPruned.Add(n)
+	}
+}
+
+// SegmentsPruned returns the number of segments a scan skipped because
+// the zone maps proved the filter predicate empty over them. Prune
+// decisions are pure functions of (footer zone maps, predicate) — never
+// wall clock or worker placement — so the count is deterministic and
+// benchdiff can gate it, simulate mode included.
+func (m *Metrics) SegmentsPruned() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.segmentsPruned.Load()
+}
+
+// AddSegmentsSpilled records n buffers written out as temporary segments
+// by the memory governor's spill tier.
+func (m *Metrics) AddSegmentsSpilled(n int64) {
+	if m != nil && n != 0 {
+		m.segmentsSpilled.Add(n)
+	}
+}
+
+// SegmentsSpilled returns the number of gather buffers the memory
+// governor spilled to temporary segments instead of holding live.
+func (m *Metrics) SegmentsSpilled() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.segmentsSpilled.Load()
+}
+
+// FormatSegments renders the out-of-core counters, or "" when the query
+// touched no segment machinery (no noise for in-memory runs).
+func (m *Metrics) FormatSegments() string {
+	if m == nil {
+		return ""
+	}
+	pruned, spilled := m.segmentsPruned.Load(), m.segmentsSpilled.Load()
+	if pruned == 0 && spilled == 0 {
+		return ""
+	}
+	return fmt.Sprintf("segments: %d pruned, %d spilled", pruned, spilled)
 }
 
 // AddMorsels records n morsel tasks scheduled by a morsel-parallel round.
@@ -633,9 +687,27 @@ type Context struct {
 
 	// MemoryBudget, when positive, caps the query's live materialized
 	// bytes (Metrics.LiveBytes). Exceeding soft thresholds degrades the
-	// plan gracefully — drop columnar sidecars, then collapse exchange
-	// fan-out — before a hard excess fails the query with ErrMemoryBudget.
+	// plan gracefully — spill gather buffers to temporary segments (only
+	// when SpillDir is set), then drop columnar sidecars, then collapse
+	// exchange fan-out — before a hard excess fails the query with
+	// ErrMemoryBudget.
 	MemoryBudget int64
+
+	// SpillDir, when non-empty, arms the memory governor's spill tier:
+	// once the budget pressure crosses the spill threshold, exchange
+	// gather buffers are written out as temporary segment files under this
+	// directory and re-streamed, so the query completes out-of-core before
+	// any result-affecting degradation step fires. Empty (the default)
+	// skips the spill rung entirely — the ladder then starts at
+	// drop-sidecars, bit-identical to the pre-spill governor.
+	SpillDir string
+
+	// DisableSegmentPrune turns off zone-map segment pruning at
+	// segment-backed scans: every segment decodes. Results are
+	// bit-identical either way (pruning only skips segments the predicate
+	// provably rejects); the switch exists for A/B ablation of the pruning
+	// win itself.
+	DisableSegmentPrune bool
 
 	taskRealNanos atomic.Int64 // serial time actually spent inside tasks
 	taskSimNanos  atomic.Int64 // simulated makespan of those stages
@@ -1228,7 +1300,11 @@ func (c *Context) Exchange(in *Dataset, dist Distribution, key KeyFunc) (*Datase
 	c.Metrics.AddShuffled(int64(in.NumRows()))
 	switch dist {
 	case AllTuples:
-		out := NewDataset(in.Gather())
+		rows, err := c.gatherExchange(in)
+		if err != nil {
+			return nil, err
+		}
+		out := NewDataset(rows)
 		if !c.SidecarsDropped() {
 			if b, ok := in.MergedSidecar(); ok {
 				out.Batches = []*skyline.Batch{b}
@@ -1236,15 +1312,22 @@ func (c *Context) Exchange(in *Dataset, dist Distribution, key KeyFunc) (*Datase
 		}
 		return out, nil
 	case Unspecified:
-		rows := in.Gather()
+		rows, err := c.gatherExchange(in)
+		if err != nil {
+			return nil, err
+		}
 		return NewDataset(splitEven(rows, c.partitionTarget(len(rows)))...), nil
 	case NullBitmap:
 		if key == nil {
 			return nil, fmt.Errorf("cluster: NullBitmap exchange requires a key function")
 		}
+		gathered, err := c.gatherExchange(in)
+		if err != nil {
+			return nil, err
+		}
 		index := make(map[uint64]int)
 		var parts [][]types.Row
-		for _, row := range in.Gather() {
+		for _, row := range gathered {
 			k, err := key(row)
 			if err != nil {
 				return nil, err
@@ -1266,7 +1349,10 @@ func (c *Context) Exchange(in *Dataset, dist Distribution, key KeyFunc) (*Datase
 		if key == nil {
 			return nil, fmt.Errorf("cluster: Hash exchange requires a key function")
 		}
-		rows := in.Gather()
+		rows, err := c.gatherExchange(in)
+		if err != nil {
+			return nil, err
+		}
 		n := c.partitionTarget(len(rows))
 		parts := make([][]types.Row, n)
 		for _, row := range rows {
@@ -1281,6 +1367,94 @@ func (c *Context) Exchange(in *Dataset, dist Distribution, key KeyFunc) (*Datase
 		return NewDataset(parts...), nil
 	}
 	return nil, fmt.Errorf("cluster: unknown distribution %v", dist)
+}
+
+// gatherExchange returns the exchange input's gathered rows, routing
+// through the spill tier when the memory governor engaged it.
+func (c *Context) gatherExchange(in *Dataset) ([]types.Row, error) {
+	if c.SpillActive() {
+		return c.spillGather(in)
+	}
+	return in.Gather(), nil
+}
+
+// spillGather is the spill tier's gather: each input partition is written
+// out as a temporary segment under SpillDir, the input's live bytes are
+// freed (its parts and sidecars detached, so the operator-layer charge
+// cannot double-free), and the gathered rows are re-streamed from the
+// segments, which are removed as they drain. The exchange output then
+// becomes the only live copy — peak accounted bytes drop from
+// input+output to output plus one in-flight segment, which is what lets a
+// budgeted query finish out-of-core instead of degrading further. Row
+// order is preserved exactly (partitions in order, rows in order) and
+// every value round-trips bit-identically, so results are unchanged.
+func (c *Context) spillGather(in *Dataset) ([]types.Row, error) {
+	width, uniform := uniformWidth(in.Parts)
+	if !uniform {
+		// Ragged rows would round-trip padded; keep them in memory.
+		return in.Gather(), nil
+	}
+	schema := spillSchema(width)
+	var segs []*storage.Segment
+	cleanup := func() {
+		for _, s := range segs {
+			s.Remove()
+		}
+	}
+	total := 0
+	for _, p := range in.Parts {
+		if len(p) == 0 {
+			continue
+		}
+		seg, err := storage.SpillSegment(c.SpillDir, p, schema)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		segs = append(segs, seg)
+		total += len(p)
+	}
+	c.Metrics.AddSegmentsSpilled(int64(len(segs)))
+	c.Metrics.Free(in.MemSize())
+	in.Parts, in.Batches = nil, nil
+	rows := make([]types.Row, 0, total)
+	for _, seg := range segs {
+		part, err := seg.Decode()
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		rows = append(rows, part...)
+		seg.Remove()
+	}
+	return rows, nil
+}
+
+// uniformWidth reports the shared row width of all partitions, ok=false
+// when rows disagree (or there are no rows).
+func uniformWidth(parts [][]types.Row) (int, bool) {
+	width := -1
+	for _, p := range parts {
+		for _, r := range p {
+			if width == -1 {
+				width = len(r)
+			} else if len(r) != width {
+				return 0, false
+			}
+		}
+	}
+	return width, width >= 0
+}
+
+// spillSchema synthesizes the positional schema a spill segment is
+// encoded under; spill footers never feed a catalog, so names and kinds
+// are placeholders.
+func spillSchema(width int) *types.Schema {
+	fields := make([]types.Field, width)
+	for i := range fields {
+		fields[i] = types.Field{Name: fmt.Sprintf("c%d", i), Type: types.KindNull, Nullable: true}
+	}
+	return types.NewSchema(fields...)
 }
 
 // evenChunkBounds returns the [start, end) boundaries of splitting n items

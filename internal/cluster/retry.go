@@ -162,9 +162,13 @@ func (c *Context) backoff(stage, part, morsel, attempt int64) {
 	time.Sleep(d)
 }
 
-// Degradation ladder levels of the memory governor.
+// Degradation ladder levels of the memory governor. The spill rung only
+// exists when Context.SpillDir is set; without a spill directory the
+// ladder skips straight from none to drop-sidecars, preserving the
+// pre-spill governor bit-for-bit.
 const (
 	degradeNone         int32 = iota
+	degradeSpill              // gather buffers written out as temporary segments (out-of-core, bit-identical)
 	degradeDropSidecars       // columnar sidecars no longer attached (boxed path, bit-identical)
 	degradeCollapseFans       // exchange fan-out collapsed to the minimum partition count
 )
@@ -178,6 +182,14 @@ func (c *Context) SidecarsDropped() bool {
 	return c.degradeLevel.Load() >= degradeDropSidecars
 }
 
+// SpillActive reports whether the governor's spill tier is engaged:
+// exchange gather buffers then write out as temporary segments under
+// Context.SpillDir and re-stream instead of staying live. Always false
+// without a spill directory (the rung does not exist then).
+func (c *Context) SpillActive() bool {
+	return c.SpillDir != "" && c.degradeLevel.Load() >= degradeSpill
+}
+
 // fanoutCollapsed reports whether the governor's second step fired:
 // exchanges then fan out to the fewest partitions that still bound each
 // task's working set instead of the executor count.
@@ -186,13 +198,15 @@ func (c *Context) fanoutCollapsed() bool {
 }
 
 // CheckBudget enforces Context.MemoryBudget against the live-bytes
-// counter, degrading gracefully before failing: above 60% of the budget it
-// drops columnar sidecars, above 80% it collapses exchange fan-out, and
-// only when the budget is exceeded with both steps already taken does it
-// return ErrMemoryBudget. Each escalation is recorded in the metrics
-// (Metrics.DegradationSteps). Called at every cooperative checkpoint —
-// round scheduling, exchanges, injected allocation spikes — so workers
-// observe the budget with bounded latency. No-op when MemoryBudget <= 0.
+// counter, degrading gracefully before failing: above 50% of the budget it
+// engages the spill tier (when SpillDir is set — the rung is skipped
+// otherwise), above 60% it drops columnar sidecars, above 80% it collapses
+// exchange fan-out, and only when the budget is exceeded with every step
+// already taken does it return ErrMemoryBudget. Each escalation is
+// recorded in the metrics (Metrics.DegradationSteps). Called at every
+// cooperative checkpoint — round scheduling, exchanges, injected
+// allocation spikes — so workers observe the budget with bounded latency.
+// No-op when MemoryBudget <= 0.
 func (c *Context) CheckBudget() error {
 	if c.MemoryBudget <= 0 {
 		return nil
@@ -207,16 +221,27 @@ func (c *Context) CheckBudget() error {
 		if level >= degradeCollapseFans {
 			return nil
 		}
-		// Escalation thresholds: 60% for the first step, 80% for the second.
-		threshold := c.MemoryBudget * int64(6+2*level) / 10
+		next := level + 1
+		if next == degradeSpill && c.SpillDir == "" {
+			// No spill directory: the spill rung does not exist. Escalate
+			// straight to drop-sidecars, preserving the pre-spill ladder —
+			// same thresholds, same step count, same recorded names.
+			next = degradeDropSidecars
+		}
+		var threshold int64
+		var step string
+		switch next {
+		case degradeSpill:
+			threshold, step = c.MemoryBudget*5/10, "spill-to-segments"
+		case degradeDropSidecars:
+			threshold, step = c.MemoryBudget*6/10, "drop-sidecars"
+		default: // degradeCollapseFans
+			threshold, step = c.MemoryBudget*8/10, "collapse-fanout"
+		}
 		if live <= threshold {
 			return nil
 		}
-		if c.degradeLevel.CompareAndSwap(level, level+1) {
-			step := "drop-sidecars"
-			if level+1 == degradeCollapseFans {
-				step = "collapse-fanout"
-			}
+		if c.degradeLevel.CompareAndSwap(level, next) {
 			c.Metrics.AddDegradation(fmt.Sprintf("%s (live=%d, budget=%d)", step, live, c.MemoryBudget))
 		}
 	}

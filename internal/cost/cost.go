@@ -35,6 +35,16 @@ type Column struct {
 	Min, Max     float64
 	NullFraction float64
 	Numeric      bool
+	// HasNaN records whether any NaN was observed. NaN sorts below every
+	// number in the engine's total order, so it satisfies min-side
+	// comparisons (< / <=) while sitting outside [Min, Max]; pruning must
+	// know it is there.
+	HasNaN bool
+	// Hist is an optional equi-width histogram of the finite numeric
+	// values over [Min, Max] (counts per bucket; segment footers persist
+	// it). When present, rangeSelectivity interpolates the histogram mass
+	// instead of assuming uniformity — the skewed-column fix.
+	Hist []float64
 }
 
 // Table aggregates the column sketches of one relation.
@@ -60,6 +70,10 @@ func Sketch(rows []types.Row, width int) *Table {
 				nulls[d]++
 			case v.IsNumeric():
 				f := v.AsFloat()
+				if math.IsNaN(f) {
+					t.Cols[d].HasNaN = true
+					continue
+				}
 				if f < t.Cols[d].Min {
 					t.Cols[d].Min = f
 				}
@@ -180,7 +194,10 @@ func rangeSelectivity(b *expr.Binary, t *Table) float64 {
 	if span <= 0 || math.IsInf(span, 0) || math.IsNaN(span) {
 		return defaultSelectivity
 	}
-	frac := (lit - col.Min) / span
+	frac := histFraction(col, lit)
+	if frac < 0 { // no histogram: System R uniform interpolation
+		frac = (lit - col.Min) / span
+	}
 	if frac < 0 {
 		frac = 0
 	}
@@ -194,6 +211,161 @@ func rangeSelectivity(b *expr.Binary, t *Table) float64 {
 	default: // OpGt, OpGeq
 		return (1 - frac) * keep
 	}
+}
+
+// histFraction estimates the fraction of the column's finite values
+// strictly below lit from the equi-width histogram, interpolating
+// linearly inside the bucket lit falls in. Returns -1 when the column
+// carries no histogram (caller falls back to uniform interpolation).
+func histFraction(col Column, lit float64) float64 {
+	if len(col.Hist) == 0 {
+		return -1
+	}
+	total := 0.0
+	for _, n := range col.Hist {
+		total += n
+	}
+	if total <= 0 {
+		return -1
+	}
+	if lit <= col.Min {
+		return 0
+	}
+	if lit >= col.Max {
+		return 1
+	}
+	bw := (col.Max - col.Min) / float64(len(col.Hist))
+	below := 0.0
+	for b, n := range col.Hist {
+		lo := col.Min + float64(b)*bw
+		hi := lo + bw
+		switch {
+		case lit >= hi:
+			below += n
+		case lit > lo:
+			below += n * (lit - lo) / bw
+		}
+	}
+	return below / total
+}
+
+// ulpMargin is how many units-in-the-last-place the pruning tests widen
+// both the zone bounds and the literal by. Zone maps store float64;
+// int64 values beyond ±2⁵³ round when sketched, and a literal may round
+// the other way — two ulps on each side covers both roundings, so a
+// prune decision is conservative even at the edge of exact-integer
+// range.
+const ulpMargin = 2
+
+func widenDown(f float64) float64 {
+	for i := 0; i < ulpMargin; i++ {
+		f = math.Nextafter(f, math.Inf(-1))
+	}
+	return f
+}
+
+func widenUp(f float64) float64 {
+	for i := 0; i < ulpMargin; i++ {
+		f = math.Nextafter(f, math.Inf(1))
+	}
+	return f
+}
+
+// ProvablyEmpty reports whether the sketch proves the predicate keeps no
+// row — the zone-map pruning test. It is deliberately one-sided: a true
+// return is a guarantee (safe to skip the rows entirely), a false return
+// means nothing. Soundness leans on three engine facts: NULL comparisons
+// evaluate to NULL and never pass a WHERE; NaN sorts below every number
+// in the total order (so NaN passes < / <= against any numeric literal
+// while sitting outside [Min, Max] — min-side rules require HasNaN ==
+// false); and zone bounds plus literals are widened by ulpMargin so
+// float64 rounding of large integers can never flip a decision. The
+// decision is a pure function of (predicate, sketch) — no clocks, no
+// randomness — so prune counters are deterministic and benchdiff-gated.
+func ProvablyEmpty(e expr.Expr, t *Table) bool {
+	if t == nil {
+		return false
+	}
+	switch n := e.(type) {
+	case *expr.Alias:
+		return ProvablyEmpty(n.Child, t)
+	case *expr.Literal:
+		return n.Value.Kind() == types.KindBool && !n.Value.AsBool()
+	case *expr.IsNull:
+		if c, ok := sketchCol(n.Child, t); ok {
+			if n.Negated {
+				return c.NullFraction >= 1
+			}
+			return c.NullFraction <= 0 && t.Rows > 0
+		}
+		return false
+	case *expr.Binary:
+		switch n.Op {
+		case expr.OpAnd:
+			// A conjunction is empty when either side is.
+			return ProvablyEmpty(n.L, t) || ProvablyEmpty(n.R, t)
+		case expr.OpOr:
+			return ProvablyEmpty(n.L, t) && ProvablyEmpty(n.R, t)
+		case expr.OpEq, expr.OpLt, expr.OpLeq, expr.OpGt, expr.OpGeq:
+			return rangeEmpty(n, t)
+		}
+	}
+	return false
+}
+
+// rangeEmpty tests one comparison against the zone map, normalizing to
+// column-op-literal orientation like rangeSelectivity.
+func rangeEmpty(b *expr.Binary, t *Table) bool {
+	col, colOK := sketchCol(b.L, t)
+	lit, litOK := literalValue(b.R)
+	op := b.Op
+	if !colOK || !litOK {
+		col, colOK = sketchCol(b.R, t)
+		lit, litOK = literalValue(b.L)
+		if !colOK || !litOK {
+			return false
+		}
+		switch op {
+		case expr.OpLt:
+			op = expr.OpGt
+		case expr.OpLeq:
+			op = expr.OpGeq
+		case expr.OpGt:
+			op = expr.OpLt
+		case expr.OpGeq:
+			op = expr.OpLeq
+		}
+	}
+	if col.NullFraction >= 1 && t.Rows > 0 {
+		// Every value is NULL: no comparison ever passes.
+		return true
+	}
+	if !col.Numeric || math.IsNaN(lit) || t.Rows == 0 {
+		// Rows == 0 is vacuously empty but uninteresting; non-numeric
+		// columns disable range reasoning (and comparing them could even
+		// error, which pruning must preserve).
+		return false
+	}
+	zoneLo, zoneHi := widenDown(col.Min), widenUp(col.Max)
+	litLo, litHi := widenDown(lit), widenUp(lit)
+	switch op {
+	case expr.OpLt:
+		// NaN < lit is true in the total order, so a NaN-bearing segment
+		// can never be skipped on a min-side test.
+		return !col.HasNaN && zoneLo >= litHi
+	case expr.OpLeq:
+		return !col.HasNaN && zoneLo > litHi
+	case expr.OpGt:
+		// NaN > lit is always false, so max-side tests ignore HasNaN.
+		return zoneHi <= litLo
+	case expr.OpGeq:
+		return zoneHi < litLo
+	case expr.OpEq:
+		// NaN never equals a non-NaN literal, so equality only needs the
+		// literal provably outside the finite range.
+		return litHi < zoneLo || litLo > zoneHi
+	}
+	return false
 }
 
 // sketchCol resolves an expression to the sketch of the column it

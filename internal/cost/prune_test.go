@@ -1,0 +1,153 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"skysql/internal/expr"
+	"skysql/internal/types"
+)
+
+func lt(col int, lit float64) expr.Expr {
+	return expr.NewBinary(expr.OpLt, fref(col), expr.NewLiteral(types.Float(lit)))
+}
+
+func cmp(op expr.BinaryOp, col int, lit float64) expr.Expr {
+	return expr.NewBinary(op, fref(col), expr.NewLiteral(types.Float(lit)))
+}
+
+// zoneTable builds a one-column sketch with the given zone map.
+func zoneTable(min, max float64, rows int) *Table {
+	return &Table{Rows: rows, Cols: []Column{{Min: min, Max: max, Numeric: true}}}
+}
+
+// TestProvablyEmptyComparisons pins the zone-map pruning rules on a
+// segment whose column spans [10, 20].
+func TestProvablyEmptyComparisons(t *testing.T) {
+	z := zoneTable(10, 20, 100)
+	cases := []struct {
+		name string
+		e    expr.Expr
+		want bool
+	}{
+		{"lt below range", cmp(expr.OpLt, 0, 5), true},
+		// col < min is truly empty, but the ulp safety margin widens both
+		// sides of the boundary comparison, so exact-boundary literals stay
+		// conservatively un-pruned.
+		{"lt at min stays conservative", cmp(expr.OpLt, 0, 10), false},
+		{"lt inside", cmp(expr.OpLt, 0, 15), false},
+		{"le below range", cmp(expr.OpLeq, 0, 5), true},
+		{"le at min keeps boundary row", cmp(expr.OpLeq, 0, 10), false},
+		{"gt above range", cmp(expr.OpGt, 0, 25), true},
+		{"gt at max stays conservative", cmp(expr.OpGt, 0, 20), false},
+		{"gt inside", cmp(expr.OpGt, 0, 15), false},
+		{"ge above range", cmp(expr.OpGeq, 0, 25), true},
+		{"ge at max keeps boundary row", cmp(expr.OpGeq, 0, 20), false},
+		{"eq below", cmp(expr.OpEq, 0, 5), true},
+		{"eq above", cmp(expr.OpEq, 0, 25), true},
+		{"eq inside", cmp(expr.OpEq, 0, 15), false},
+	}
+	for _, c := range cases {
+		if got := ProvablyEmpty(c.e, z); got != c.want {
+			t.Errorf("%s: ProvablyEmpty = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestProvablyEmptyFlippedOperands: literal-on-the-left comparisons must
+// normalize, mirroring rangeSelectivity.
+func TestProvablyEmptyFlippedOperands(t *testing.T) {
+	z := zoneTable(10, 20, 100)
+	// 25 < col ⇔ col > 25: provably empty on [10, 20].
+	e := expr.NewBinary(expr.OpLt, expr.NewLiteral(types.Float(25)), fref(0))
+	if !ProvablyEmpty(e, z) {
+		t.Error("25 < col must prune a [10, 20] zone")
+	}
+	// 15 < col ⇔ col > 15: not empty.
+	e = expr.NewBinary(expr.OpLt, expr.NewLiteral(types.Float(15)), fref(0))
+	if ProvablyEmpty(e, z) {
+		t.Error("15 < col must not prune a [10, 20] zone")
+	}
+}
+
+// TestProvablyEmptyNaNGuards: NaN sorts below every number in the
+// engine's total order, so a segment containing NaN satisfies col < lit
+// for any literal — min-side pruning must be disabled by HasNaN while
+// max-side pruning and equality stay sound.
+func TestProvablyEmptyNaNGuards(t *testing.T) {
+	z := zoneTable(10, 20, 100)
+	z.Cols[0].HasNaN = true
+	if ProvablyEmpty(cmp(expr.OpLt, 0, 5), z) {
+		t.Error("col < 5 pruned a NaN-bearing zone: NaN < 5 is true in the total order")
+	}
+	if ProvablyEmpty(cmp(expr.OpLeq, 0, 5), z) {
+		t.Error("col <= 5 pruned a NaN-bearing zone")
+	}
+	if !ProvablyEmpty(cmp(expr.OpGt, 0, 25), z) {
+		t.Error("col > 25 must still prune: NaN never exceeds a finite literal")
+	}
+	if !ProvablyEmpty(cmp(expr.OpEq, 0, 5), z) {
+		t.Error("col = 5 must still prune: NaN never equals a finite literal")
+	}
+	// A NaN literal proves nothing.
+	if ProvablyEmpty(cmp(expr.OpLt, 0, math.NaN()), z) {
+		t.Error("NaN literal must never prune")
+	}
+}
+
+// TestProvablyEmptyNullAndNonNumeric: an all-NULL column never passes a
+// comparison (NULL-valued predicate), so it prunes; a non-numeric column
+// must never prune, since a mixed-kind comparison errors at runtime and
+// pruning would swallow the error.
+func TestProvablyEmptyNullAndNonNumeric(t *testing.T) {
+	allNull := &Table{Rows: 10, Cols: []Column{{
+		Min: math.Inf(1), Max: math.Inf(-1), Numeric: true, NullFraction: 1,
+	}}}
+	if !ProvablyEmpty(lt(0, 5), allNull) {
+		t.Error("an all-NULL column must prune any comparison")
+	}
+	nonNum := &Table{Rows: 10, Cols: []Column{{Numeric: false}}}
+	if ProvablyEmpty(lt(0, 1e18), nonNum) {
+		t.Error("a non-numeric column must never prune (comparison may error)")
+	}
+	empty := zoneTable(10, 20, 0)
+	if ProvablyEmpty(lt(0, 5), empty) {
+		t.Error("a zero-row sketch proves nothing")
+	}
+}
+
+// TestProvablyEmptyConnectives: AND prunes when either side does, OR only
+// when both do; IsNull prunes against a null-free column and its negation
+// against an all-NULL one.
+func TestProvablyEmptyConnectives(t *testing.T) {
+	z := zoneTable(10, 20, 100)
+	emptyCmp := cmp(expr.OpLt, 0, 5)
+	liveCmp := cmp(expr.OpLt, 0, 15)
+	and := expr.NewBinary(expr.OpAnd, liveCmp, emptyCmp)
+	if !ProvablyEmpty(and, z) {
+		t.Error("AND with one empty side must prune")
+	}
+	orBoth := expr.NewBinary(expr.OpOr, emptyCmp, cmp(expr.OpGt, 0, 25))
+	if !ProvablyEmpty(orBoth, z) {
+		t.Error("OR of two empty sides must prune")
+	}
+	orHalf := expr.NewBinary(expr.OpOr, emptyCmp, liveCmp)
+	if ProvablyEmpty(orHalf, z) {
+		t.Error("OR with one live side must not prune")
+	}
+	if !ProvablyEmpty(expr.NewIsNull(fref(0), false), z) {
+		t.Error("IS NULL must prune a null-free zone")
+	}
+}
+
+// TestProvablyEmptyUlpMargin: literals within a couple of ulps of the
+// zone bound must not prune — the footer's float64 bounds are exact here,
+// but the margin guards against any representation drift.
+func TestProvablyEmptyUlpMargin(t *testing.T) {
+	min := 10.0
+	z := zoneTable(min, 20, 100)
+	justBelow := math.Nextafter(min, math.Inf(-1))
+	if ProvablyEmpty(cmp(expr.OpLt, 0, justBelow), z) {
+		t.Error("a literal one ulp below min must stay un-pruned inside the safety margin")
+	}
+}

@@ -35,18 +35,40 @@ func (d Distribution) String() string {
 	return "?"
 }
 
-// Synthetic generates an n-row, dims-dimension table named t with float
-// columns d1..dN drawn from the given distribution in [0,1]. All
-// dimensions are minimized by convention in the ablation benchmarks.
-func Synthetic(dist Distribution, n, dims int, cfg Config) *catalog.Table {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// SyntheticSchema is the schema Synthetic generates under: an int id
+// column plus dims float columns d1..dN.
+func SyntheticSchema(dims int, cfg Config) *types.Schema {
 	fields := make([]types.Field, dims+1)
 	fields[0] = types.Field{Name: "id", Type: types.KindInt}
 	for d := 1; d <= dims; d++ {
 		fields[d] = types.Field{Name: fmt.Sprintf("d%d", d), Type: types.KindFloat, Nullable: !cfg.Complete}
 	}
-	rows := make([]types.Row, n)
-	for i := range rows {
+	return types.NewSchema(fields...)
+}
+
+// Synthetic generates an n-row, dims-dimension table named t with float
+// columns d1..dN drawn from the given distribution in [0,1]. All
+// dimensions are minimized by convention in the ablation benchmarks.
+func Synthetic(dist Distribution, n, dims int, cfg Config) *catalog.Table {
+	rows := make([]types.Row, 0, n)
+	_ = SyntheticStream(dist, n, dims, cfg, func(r types.Row) error {
+		rows = append(rows, r)
+		return nil
+	})
+	t, err := catalog.NewTable("t", SyntheticSchema(dims, cfg), rows)
+	if err != nil {
+		panic("datagen: synthetic schema mismatch: " + err.Error())
+	}
+	return t
+}
+
+// SyntheticStream generates exactly the rows Synthetic would (same seed,
+// same sequence) but hands each one to yield instead of materializing
+// the slice, so datasets far larger than memory can stream straight into
+// segment files. Stops on the first yield error.
+func SyntheticStream(dist Distribution, n, dims int, cfg Config, yield func(types.Row) error) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < n; i++ {
 		row := make(types.Row, dims+1)
 		row[0] = types.Int(int64(i + 1))
 		vals := make([]float64, dims)
@@ -80,13 +102,11 @@ func Synthetic(dist Distribution, n, dims int, cfg Config) *catalog.Table {
 			}
 			row[d+1] = val
 		}
-		rows[i] = row
+		if err := yield(row); err != nil {
+			return err
+		}
 	}
-	t, err := catalog.NewTable("t", types.NewSchema(fields...), rows)
-	if err != nil {
-		panic("datagen: synthetic schema mismatch: " + err.Error())
-	}
-	return t
+	return nil
 }
 
 func clamp01(v float64) float64 {

@@ -10,14 +10,25 @@ import (
 	"skysql/internal/cost"
 	"skysql/internal/expr"
 	"skysql/internal/skyline"
+	"skysql/internal/storage"
 	"skysql/internal/types"
 )
 
 // ScanExec reads a table, splitting it into one partition per executor
-// (Spark's default even distribution, §5.5).
+// (Spark's default even distribution, §5.5). Segment-backed tables stream
+// their segments instead: each surviving segment decodes into one
+// partition (a natural morsel home), after the per-segment zone maps are
+// consulted against the pushed-down filter predicates — a segment the
+// predicates provably reject is skipped before any page is decoded.
 type ScanExec struct {
 	Table  *catalog.Table
 	schema *types.Schema
+
+	// Prune is the contiguous filter-predicate run sitting directly above
+	// the scan, pushed down by the planner for zone-map pruning. The
+	// filters themselves still execute — pruning only skips segments whose
+	// zone maps prove a predicate keeps no row, so results are unchanged.
+	Prune []expr.Expr
 
 	sketchMu   sync.Mutex
 	sketch     *cost.Table
@@ -32,15 +43,25 @@ func NewScanExec(t *catalog.Table, schema *types.Schema) *ScanExec {
 func (s *ScanExec) Schema() *types.Schema { return s.schema }
 func (s *ScanExec) Children() []Operator  { return nil }
 func (s *ScanExec) String() string {
-	return fmt.Sprintf("ScanExec %s (%d rows)", s.Table.Name, len(s.Table.Rows))
+	kind := ""
+	if s.Table.Segments != nil {
+		kind = fmt.Sprintf(", %d segments", len(s.Table.Segments.Segments()))
+	}
+	return fmt.Sprintf("ScanExec %s (%d rows%s)", s.Table.Name, s.Table.RowCount(), kind)
 }
 
 // Sketch returns the column sketches of the scanned table — the
-// cardinality/selectivity input of the cost model — computed once per scan
-// (a single cheap pass, a fraction of the decode the sketch gates) and
-// recomputed when the table's row count changed between executions, so a
-// re-run plan over a grown table does not decide off a stale sketch.
+// cardinality/selectivity input of the cost model. For in-memory tables
+// it is computed once per scan (a single cheap pass, a fraction of the
+// decode the sketch gates) and recomputed when the table's row count
+// changed between executions, so a re-run plan over a grown table does
+// not decide off a stale sketch. Segment-backed tables answer from the
+// persisted footer stats — merged zone maps plus histograms — without
+// touching a single page.
 func (s *ScanExec) Sketch() *cost.Table {
+	if s.Table.Segments != nil {
+		return s.Table.Segments.Sketch()
+	}
 	s.sketchMu.Lock()
 	defer s.sketchMu.Unlock()
 	if s.sketch == nil || s.sketchRows != len(s.Table.Rows) {
@@ -51,6 +72,9 @@ func (s *ScanExec) Sketch() *cost.Table {
 }
 
 func (s *ScanExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
+	if s.Table.Segments != nil {
+		return s.executeSegments(ctx)
+	}
 	in := cluster.NewDataset(s.Table.Rows)
 	out, err := ctx.Exchange(in, cluster.Unspecified, nil)
 	if err != nil {
@@ -58,6 +82,67 @@ func (s *ScanExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 	}
 	charge(ctx, out)
 	return out, nil
+}
+
+// executeSegments streams a segment-backed table: each segment's zone
+// maps are tested against the pushed-down predicates first
+// (cost.ProvablyEmpty over the footer sketch — a pure function of footer
+// and predicate, so prune counts are deterministic, simulate mode
+// included), and only surviving segments decode, one partition per
+// segment. Pruning never changes results: a pruned segment's rows would
+// all have been rejected by the same predicate one operator later.
+func (s *ScanExec) executeSegments(ctx *cluster.Context) (*cluster.Dataset, error) {
+	segs := s.Table.Segments.Segments()
+	parts := make([][]types.Row, 0, len(segs))
+	pruned := 0
+	for _, seg := range segs {
+		if err := ctx.CheckCanceled(); err != nil {
+			return nil, err
+		}
+		if s.pruneSegment(ctx, seg) {
+			pruned++
+			continue
+		}
+		part, err := seg.Decode()
+		if err != nil {
+			return nil, err
+		}
+		if len(part) > 0 {
+			parts = append(parts, part)
+		}
+	}
+	if len(s.Prune) > 0 && !ctx.DisableSegmentPrune {
+		ctx.Metrics.AddSegmentsPruned(int64(pruned))
+		choice := "scan-all"
+		if pruned > 0 {
+			choice = "prune"
+		}
+		ctx.Metrics.AddCostDecision(cluster.CostDecision{
+			Site: "segment-prune", Choice: choice, Rows: s.Table.RowCount(), Selectivity: -1,
+			Detail: fmt.Sprintf("%d/%d segments skipped", pruned, len(segs)),
+		})
+	}
+	out := cluster.NewDataset(parts...)
+	charge(ctx, out)
+	if err := ctx.CheckBudget(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pruneSegment reports whether any pushed predicate provably keeps no
+// row of the segment, per its footer zone maps.
+func (s *ScanExec) pruneSegment(ctx *cluster.Context, seg *storage.Segment) bool {
+	if ctx.DisableSegmentPrune || len(s.Prune) == 0 {
+		return false
+	}
+	sketch := seg.Sketch()
+	for _, p := range s.Prune {
+		if cost.ProvablyEmpty(p, sketch) {
+			return true
+		}
+	}
+	return false
 }
 
 // OneRowExec produces one empty row (FROM-less SELECT).

@@ -116,10 +116,53 @@ func Plan(n plan.Node, opts Options) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.DisableStageFusion {
-		return op, nil
+	if !opts.DisableStageFusion {
+		op = CompileStages(op)
 	}
-	return CompileStages(op), nil
+	pushPrunePredicates(op)
+	return op, nil
+}
+
+// pushPrunePredicates collects, for every scan, the contiguous run of
+// filter predicates sitting directly above it and records them on the
+// scan for zone-map segment pruning. Only uninterrupted filter runs are
+// taken: filters do not change the schema (so every collected predicate
+// is bound to scan ordinals, which is what segment footers index), and
+// stopping at the first non-filter operator keeps pruning sound — an
+// intervening limit or projection could make "provably empty" depend on
+// more than the predicate. The filters themselves still execute; a scan
+// without segments simply ignores its Prune list.
+func pushPrunePredicates(op Operator) {
+	switch n := op.(type) {
+	case *PipelineExec:
+		if scan, ok := n.Source.(*ScanExec); ok {
+			for _, o := range n.Ops {
+				f, ok := o.(*FilterExec)
+				if !ok {
+					break
+				}
+				scan.Prune = append(scan.Prune, f.Cond)
+			}
+		}
+	case *FilterExec:
+		conds := []expr.Expr{n.Cond}
+		child := n.Child
+		for {
+			if f, ok := child.(*FilterExec); ok {
+				conds = append(conds, f.Cond)
+				child = f.Child
+				continue
+			}
+			break
+		}
+		if scan, ok := child.(*ScanExec); ok {
+			scan.Prune = append(scan.Prune, conds...)
+			return // the chain is consumed; don't re-collect suffixes
+		}
+	}
+	for _, c := range op.Children() {
+		pushPrunePredicates(c)
+	}
 }
 
 // lower translates logical nodes into per-operator physical nodes; stage
@@ -381,7 +424,7 @@ func costBasedStrategy(s *plan.SkylineOperator) SkylineStrategy {
 func EstimateRows(n plan.Node) int64 {
 	switch p := n.(type) {
 	case *plan.Scan:
-		return int64(len(p.Table.Rows))
+		return int64(p.Table.RowCount())
 	case *plan.OneRow:
 		return 1
 	case *plan.Filter:

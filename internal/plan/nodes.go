@@ -53,7 +53,7 @@ func (s *Scan) Children() []Node         { return nil }
 func (s *Scan) WithChildren([]Node) Node { return s }
 func (s *Scan) Resolved() bool           { return true }
 func (s *Scan) String() string {
-	return fmt.Sprintf("Scan %s AS %s (%d rows)", s.Table.Name, s.Binding, len(s.Table.Rows))
+	return fmt.Sprintf("Scan %s AS %s (%d rows)", s.Table.Name, s.Binding, s.Table.RowCount())
 }
 
 // OneRow produces a single empty row; it is the child of FROM-less SELECTs.

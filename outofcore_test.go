@@ -1,0 +1,186 @@
+package skysql_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"skysql"
+	"skysql/internal/datagen"
+	"skysql/internal/storage"
+)
+
+// TestSegmentStorageSessionBitIdentical is the public-API face of the
+// storage contract: a session storing its tables as paged columnar
+// segments — with or without zone-map pruning — must answer every query
+// exactly like the in-memory session, on the same mixed workload the
+// robustness suite uses.
+func TestSegmentStorageSessionBitIdentical(t *testing.T) {
+	plain := wideSession(t)
+	want, err := plain.Query(wideSkyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts []skysql.Option
+	}{
+		{"segments", []skysql.Option{skysql.WithSegmentStorage(""), skysql.WithSegmentRows(64)}},
+		{"segments on disk", []skysql.Option{skysql.WithSegmentStorage(t.TempDir()), skysql.WithSegmentRows(64)}},
+		{"segments unpruned", []skysql.Option{
+			skysql.WithSegmentStorage(""), skysql.WithSegmentRows(64), skysql.WithoutSegmentPruning()}},
+	} {
+		sess := wideSession(t, tc.opts...)
+		got, err := sess.Query(wideSkyline)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if fmt.Sprint(rowsToStrings(got)) != fmt.Sprint(rowsToStrings(want)) {
+			t.Errorf("%s: segment-backed rows differ from in-memory:\n got %v\nwant %v", tc.name, got, want)
+		}
+	}
+}
+
+// TestOutOfCoreSpillCompletesBudgetedQuery: with a spill directory armed,
+// a budget that forces the governor to degrade must engage the
+// spill-to-segments rung first — gather buffers move to temporary
+// segment files, SegmentsSpilled lands in the metrics — and the query
+// must still return the identical skyline.
+func TestOutOfCoreSpillCompletesBudgetedQuery(t *testing.T) {
+	free := wideSession(t)
+	df, err := free.SQL(wideSkyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := df.Metrics().PeakBytes()
+	if peak == 0 {
+		t.Fatal("unbudgeted run recorded no peak bytes")
+	}
+
+	sess := wideSession(t,
+		skysql.WithMemoryBudget(peak+peak/4),
+		skysql.WithSpillDirectory(t.TempDir()))
+	bdf, err := sess.SQL(wideSkyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bdf.Collect()
+	if err != nil {
+		t.Fatalf("budgeted collect with spill: %v", err)
+	}
+	if fmt.Sprint(rowsToStrings(got)) != fmt.Sprint(rowsToStrings(want)) {
+		t.Fatalf("spilled rows differ:\n got %v\nwant %v", got, want)
+	}
+	m := bdf.Metrics()
+	if m.SegmentsSpilled() == 0 {
+		t.Error("budgeted run never spilled — the spill tier did not engage")
+	}
+	steps := m.Degradations()
+	if len(steps) == 0 {
+		t.Fatal("budget near the peak never degraded — tighten the test budget")
+	}
+	if !strings.Contains(steps[0], "spill-to-segments") {
+		t.Errorf("first degradation rung %q, want spill-to-segments first (ladder order)", steps[0])
+	}
+}
+
+// TestMillionPointPruningBitIdentical is the headline acceptance run: a
+// filtered skyline over a segment-backed million-point dataset must skip
+// segments via zone maps and return exactly the in-memory answer. The
+// data is clustered on the filter column (sorted by d1) so the selective
+// cut maps onto whole segments.
+func TestMillionPointPruningBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-point dataset; skipped with -short")
+	}
+	const n = 1 << 20
+	tab := datagen.Synthetic(datagen.Correlated, n, 2, datagen.Config{Seed: 7, Complete: true})
+	rows := append([]skysql.Row(nil), tab.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i][1].AsFloat() < rows[j][1].AsFloat()
+	})
+	const query = "SELECT * FROM pts WHERE d1 < 0.01 SKYLINE OF COMPLETE d1 MIN, d2 MIN"
+
+	mem := skysql.NewSession()
+	t.Cleanup(mem.Close)
+	if err := mem.CreateTable("pts", tab.Schema, rows); err != nil {
+		t.Fatal(err)
+	}
+	want, err := mem.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("empty skyline proves nothing")
+	}
+
+	seg := skysql.NewSession(skysql.WithSegmentStorage(""))
+	t.Cleanup(seg.Close)
+	if err := seg.CreateTable("pts", tab.Schema, rows); err != nil {
+		t.Fatal(err)
+	}
+	df, err := seg.SQL(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := df.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rowsToStrings(got)) != fmt.Sprint(rowsToStrings(want)) {
+		t.Fatal("segment-backed million-point skyline differs from in-memory")
+	}
+	// 1M rows at the default 65536-row segments is 16 zone maps; d1 < 0.01
+	// on d1-sorted data leaves all but the leading segments provably empty.
+	if pruned := df.Metrics().SegmentsPruned(); pruned < 1 {
+		t.Errorf("SegmentsPruned = %d, want at least 1 of 16 segments skipped", pruned)
+	}
+}
+
+// TestOpenSegmentsRoundTrip covers the ingest path `datagen -segments`
+// uses: stream synthetic rows into a segment directory with the storage
+// writer, reopen it footers-first via OpenSegments, and get the same
+// query answer as a session holding the rows in memory.
+func TestOpenSegmentsRoundTrip(t *testing.T) {
+	const n = 3000
+	cfg := datagen.Config{Seed: 11, Complete: true}
+	tab := datagen.Synthetic(datagen.AntiCorrelated, n, 3, cfg)
+
+	dir := t.TempDir()
+	w := storage.NewWriter(tab.Schema, dir, "pts", 512)
+	if err := datagen.SyntheticStream(datagen.AntiCorrelated, n, 3, cfg, w.Append); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mem := skysql.NewSession()
+	t.Cleanup(mem.Close)
+	if err := mem.CreateTable("pts", tab.Schema, tab.Rows); err != nil {
+		t.Fatal(err)
+	}
+	seg := skysql.NewSession()
+	t.Cleanup(seg.Close)
+	if err := seg.OpenSegments("pts", dir); err != nil {
+		t.Fatal(err)
+	}
+
+	const query = "SELECT * FROM pts WHERE d1 < 0.5 SKYLINE OF COMPLETE d1 MIN, d2 MIN, d3 MIN"
+	want, err := mem.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := seg.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rowsToStrings(got)) != fmt.Sprint(rowsToStrings(want)) {
+		t.Fatal("OpenSegments session answered differently from the in-memory session")
+	}
+}

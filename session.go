@@ -12,6 +12,7 @@ import (
 	"skysql/internal/cluster"
 	"skysql/internal/core"
 	"skysql/internal/physical"
+	"skysql/internal/storage"
 )
 
 // Session is the entry point of the engine: it owns the catalog and the
@@ -35,6 +36,11 @@ type Session struct {
 	taskRetries  int
 	queryTimeout time.Duration
 	memoryBudget int64
+	segStorage   bool
+	segDir       string
+	segRows      int
+	spillDir     string
+	noSegPrune   bool
 
 	poolMu sync.Mutex
 	pool   *cluster.WorkerPool
@@ -208,18 +214,73 @@ func WithQueryTimeout(d time.Duration) Option {
 
 // WithMemoryBudget enforces a per-query cap on live materialized bytes
 // (the quantity Metrics.PeakBytes observes). The engine degrades
-// gracefully before failing: past 60% of the budget it drops columnar
-// sidecars (boxed execution, bit-identical results), past 80% it
-// collapses exchange fan-out to shrink concurrently-live buffers, and
-// only an excess with both steps already taken fails the query with
-// ErrMemoryBudget. Degradation steps are recorded in Metrics. 0 (the
-// default) disables enforcement.
+// gracefully before failing: past 50% of the budget it spills exchange
+// gather buffers to temporary segments (only when WithSpillDirectory is
+// also set — the query then completes out-of-core with unchanged
+// results), past 60% it drops columnar sidecars (boxed execution,
+// bit-identical results), past 80% it collapses exchange fan-out to
+// shrink concurrently-live buffers, and only an excess with every step
+// already taken fails the query with ErrMemoryBudget. Degradation steps
+// are recorded in Metrics. 0 (the default) disables enforcement.
 func WithMemoryBudget(bytes int64) Option {
 	return func(s *Session) {
 		if bytes > 0 {
 			s.memoryBudget = bytes
 		}
 	}
+}
+
+// WithSegmentStorage makes the session store registered tables as paged
+// columnar segments instead of in-memory row slices: CreateTable,
+// RegisterTable, and LoadCSV encode their rows into bounded segments
+// (internal/storage) whose footers carry min/max/null-count zone maps and
+// equi-width histograms. Scans then stream segments — skipping any
+// segment the query's filter predicates provably reject, before a single
+// page is decoded — and the planner's statistics come from the persisted
+// footers instead of a re-scan pass. Results are bit-identical to
+// in-memory tables across every strategy and ablation (the standing
+// contract). dir is where segment files are written; "" keeps the
+// encoded segments in memory, which exercises the identical code path
+// without scratch space (useful in tests and benchmarks). Already
+// segment-backed tables (OpenSegments) are unaffected.
+func WithSegmentStorage(dir string) Option {
+	return func(s *Session) {
+		s.segStorage = true
+		s.segDir = dir
+	}
+}
+
+// WithSegmentRows overrides the rows-per-segment bound of segment-backed
+// storage (default storage.DefaultSegmentRows = 65536). Smaller segments
+// mean finer pruning granularity at more footer overhead; tests use small
+// values to exercise multi-segment layouts on small data.
+func WithSegmentRows(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.segRows = n
+		}
+	}
+}
+
+// WithSpillDirectory arms the memory governor's spill tier: under
+// WithMemoryBudget pressure (past 50% of the budget), exchange gather
+// buffers are written out as temporary segment files under dir and
+// re-streamed, so a query whose working set exceeds its budget completes
+// out-of-core — with bit-identical results — before any sidecar-drop or
+// fan-out-collapse degradation fires. Spill segments are transient: each
+// is deleted as soon as it is re-read. Without this option the governor
+// keeps its pre-spill ladder exactly.
+func WithSpillDirectory(dir string) Option {
+	return func(s *Session) { s.spillDir = dir }
+}
+
+// WithoutSegmentPruning disables zone-map pruning at segment-backed
+// scans: every segment decodes, filters do all the work. Results are
+// bit-identical either way (pruning only skips segments the predicates
+// provably reject); the switch exists for A/B ablation of the pruning
+// win, mirroring WithoutStageFusion.
+func WithoutSegmentPruning() Option {
+	return func(s *Session) { s.noSegPrune = true }
 }
 
 // NewSession creates a session with an empty catalog.
@@ -278,14 +339,33 @@ func (s *Session) SetExecutors(n int) {
 	}
 }
 
-// CreateTable registers an in-memory table.
+// CreateTable registers an in-memory table (segment-encoded when the
+// session was built WithSegmentStorage).
 func (s *Session) CreateTable(name string, schema *Schema, rows []Row) error {
 	t, err := catalog.NewTable(name, schema, rows)
 	if err != nil {
 		return err
 	}
+	t, err = s.maybeSegment(t)
+	if err != nil {
+		return err
+	}
 	s.engine.Catalog.Register(t)
 	return nil
+}
+
+// maybeSegment converts a row-backed table into a segment-backed one when
+// the session stores tables as segments. The original schema pointer is
+// kept (qualifiers, declared nullability); only the row storage moves.
+func (s *Session) maybeSegment(t *catalog.Table) (*catalog.Table, error) {
+	if !s.segStorage || t.Segments != nil {
+		return t, nil
+	}
+	store, err := storage.FromRows(t.Rows, t.Schema, s.segDir, t.Name, s.segRows)
+	if err != nil {
+		return nil, err
+	}
+	return &catalog.Table{Name: t.Name, Schema: t.Schema, Segments: store}, nil
 }
 
 // MustCreateTable is CreateTable panicking on error; intended for examples
@@ -297,13 +377,40 @@ func (s *Session) MustCreateTable(name string, schema *Schema, rows []Row) {
 }
 
 // RegisterTable attaches an already-built table (e.g. from a generator or
-// CSV loader) to the session catalog.
-func (s *Session) RegisterTable(t *catalog.Table) { s.engine.Catalog.Register(t) }
+// CSV loader) to the session catalog, segment-encoding it first when the
+// session was built WithSegmentStorage. Conversion errors surface on the
+// first query (the table is registered as-is then), so existing callers
+// keep their error-free signature; use CreateTable for checked
+// registration.
+func (s *Session) RegisterTable(t *catalog.Table) {
+	if conv, err := s.maybeSegment(t); err == nil {
+		t = conv
+	}
+	s.engine.Catalog.Register(t)
+}
 
-// LoadCSV loads a CSV file as a table; kinds gives the column types in
-// header order.
+// OpenSegments registers a table from an existing segment directory (as
+// written by WithSegmentStorage or `datagen -segments`): footers only are
+// read — row count, schema, and zone maps come from the segment tails —
+// so opening a 10M-point dataset costs milliseconds, not a decode.
+func (s *Session) OpenSegments(name, dir string) error {
+	store, err := storage.OpenDir(dir)
+	if err != nil {
+		return err
+	}
+	s.engine.Catalog.Register(catalog.NewSegmentTable(name, store))
+	return nil
+}
+
+// LoadCSV loads a CSV file as a table (segment-encoded when the session
+// was built WithSegmentStorage); kinds gives the column types in header
+// order.
 func (s *Session) LoadCSV(name, path string, kinds []Kind) error {
 	t, err := catalog.LoadCSVFile(name, path, kinds)
+	if err != nil {
+		return err
+	}
+	t, err = s.maybeSegment(t)
 	if err != nil {
 		return err
 	}
@@ -386,6 +493,8 @@ func (s *Session) runCtx(goCtx context.Context, c *core.Compiled) (*core.Result,
 	ctx.Injector = s.injector
 	ctx.MaxTaskRetries = s.taskRetries
 	ctx.MemoryBudget = s.memoryBudget
+	ctx.SpillDir = s.spillDir
+	ctx.DisableSegmentPrune = s.noSegPrune
 	if !s.simulate && !s.noMorsel {
 		// Simulated runs time tasks serially and model the parallelism with
 		// the makespan greedy assignment; only real runs use the pool. A

@@ -182,6 +182,41 @@
 // Metrics — surfaced by EXPLAIN, the shell's \s, and skybench -json —
 // repeat exactly, and `skybench -experiment chaos` sweeps fault rate ×
 // retry budget (BENCH_PR7.json) with those counters benchdiff-gated.
+//
+// # Out-of-core columnar storage
+//
+// Tables can be stored as paged columnar segments instead of in-memory
+// row slices: WithSegmentStorage(dir) makes CreateTable, RegisterTable,
+// and LoadCSV encode their rows into bounded segments (WithSegmentRows,
+// default 65536 rows) of per-column dense pages with null masks, each
+// segment ending in a footer that carries per-column min/max zone maps,
+// null and NaN counts, and equi-width histograms. OpenSegments attaches
+// an existing segment directory by reading footers alone — row counts,
+// schema, and statistics come from the segment tails, so opening a
+// million-point dataset costs no decode — and `datagen -segments`
+// writes such directories directly.
+//
+// Scans exploit the footers twice. Zone-map pruning: the planner pushes
+// the filter predicates sitting above each scan down to it, and the scan
+// skips every segment whose zone map proves the predicate can keep no
+// row (conservatively: NaN-bearing segments never min-prune, all-NULL
+// columns always prune, non-numeric columns never do) before decoding a
+// single page — WithoutSegmentPruning turns the skip off for A/B, and
+// results are bit-identical either way. Statistics: footer histograms
+// feed the cost model's selectivity estimator, replacing the uniform
+// interpolation on skewed columns.
+//
+// The memory governor gains a spill tier: with WithSpillDirectory set,
+// the first degradation rung under a WithMemoryBudget cap writes gather
+// inputs out as temporary segment files and re-streams them
+// segment-at-a-time, so a query whose working set exceeds its budget
+// completes out-of-core — with identical results — before any
+// sidecar-drop or fan-out collapse fires; without a spill directory the
+// pre-spill ladder is preserved exactly. SegmentsPruned and
+// SegmentsSpilled are deterministic counters in Metrics (EXPLAIN, the
+// shell's \s, skybench -json); `skybench -experiment storage` measures
+// memory vs segments vs segments+pruning plus a budgeted spill cell
+// (BENCH_PR8.json), benchdiff-gated on both counters.
 package skysql
 
 import (
