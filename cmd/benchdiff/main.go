@@ -59,6 +59,14 @@ var counters = []counter{
 	// budgeted gather, so more spills means the governor degraded earlier.
 	{"segments_pruned", func(r bench.Record) int64 { return r.SegmentsPruned }, false},
 	{"segments_spilled", func(r bench.Record) int64 { return r.SegmentsSpilled }, true},
+	// Result-cache outcomes are pure functions of the seeded query
+	// sequence: fewer hits (or more misses) means queries that used to be
+	// served from the cache now recompute. Upgrade counts drifting down
+	// means appends that used to maintain an entry in place now invalidate
+	// it. cache_evictions is budget/size-dependent and stays informational.
+	{"cache_hits", func(r bench.Record) int64 { return r.CacheHits }, false},
+	{"cache_misses", func(r bench.Record) int64 { return r.CacheMisses }, true},
+	{"incremental_upgrades", func(r bench.Record) int64 { return r.IncrementalUpgrades }, false},
 }
 
 // identity is the matching key of a record: every field that names the

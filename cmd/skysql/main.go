@@ -36,11 +36,16 @@ func main() {
 		executors  = flag.Int("executors", 4, "executor count")
 		explain    = flag.Bool("explain", false, "print plans instead of executing")
 		showStages = flag.Bool("stages", false, "print the per-stage makespan breakdown after each query")
+		cacheBytes = flag.Int64("cache", 0, "skyline result-cache budget in bytes (0 = off, negative = default budget)")
 	)
 	flag.Var(&tables, "table", "name=file.csv:kind,kind,... (repeatable)")
 	flag.Parse()
 
-	sess := skysql.NewSession(skysql.WithExecutors(*executors))
+	opts := []skysql.Option{skysql.WithExecutors(*executors)}
+	if *cacheBytes != 0 {
+		opts = append(opts, skysql.WithResultCache(*cacheBytes))
+	}
+	sess := skysql.NewSession(opts...)
 	for _, spec := range tables {
 		if err := loadTable(sess, spec); err != nil {
 			fmt.Fprintln(os.Stderr, "skysql:", err)
@@ -121,6 +126,9 @@ func execute(sess *skysql.Session, query string, explain, showStages bool) error
 			}
 			if ds := m.FormatCostDecisions(); ds != "" {
 				fmt.Print("cost decisions:\n" + ds)
+			}
+			if rc := m.FormatResultCache(); rc != "" {
+				fmt.Println(rc)
 			}
 			if fs := m.FormatFaults(); fs != "" {
 				fmt.Print(fs)

@@ -351,6 +351,9 @@ func (df *DataFrame) Explain() (string, error) {
 		if ds := df.metrics.FormatCostDecisions(); ds != "" {
 			out += "cost decisions:\n" + ds
 		}
+		if rc := df.metrics.FormatResultCache(); rc != "" {
+			out += rc + "\n"
+		}
 		if fs := df.metrics.FormatFaults(); fs != "" {
 			out += fs
 		}

@@ -21,10 +21,11 @@ func main() {
 	sess.RegisterTable(datagen.Airbnb(datagen.Config{Rows: 30000, Seed: 42}))
 	// Complete variant: rows with NULL skyline dimensions removed upstream.
 	complete := datagen.Airbnb(datagen.Config{Rows: 20000, Seed: 42, Complete: true})
-	complete.Rows = complete.Rows[:20000]
-	completeNamed := *complete
-	completeNamed.Name = "airbnb_complete"
-	sess.RegisterTable(&completeNamed)
+	completeNamed, err := skysql.NewTable("airbnb_complete", complete.Schema, complete.Rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.RegisterTable(completeNamed)
 
 	run := func(label, query string) {
 		df, err := sess.SQL(query)

@@ -165,9 +165,18 @@ type Measurement struct {
 	// (data, plan, budget), so benchdiff gates on them.
 	SegmentsPruned  int64
 	SegmentsSpilled int64
-	ResultRows      int
-	TimedOut        bool
-	Err             error
+	// CacheHits/CacheMisses count result-cache lookups of the run;
+	// CacheEvictions counts whole entries evicted under the byte budget and
+	// IncrementalUpgrades counts in-place append upgrades drained by a hit.
+	// All four are pure functions of (queries, data, budget) under a fixed
+	// seed, so benchdiff gates on the hit/miss/upgrade counters.
+	CacheHits           int64
+	CacheMisses         int64
+	CacheEvictions      int64
+	IncrementalUpgrades int64
+	ResultRows          int
+	TimedOut            bool
+	Err                 error
 }
 
 // Seconds returns the runtime in seconds (for chart-style output).
@@ -353,6 +362,10 @@ func (c Config) fill(m *Measurement, res *core.Result) {
 	m.DegradationLog = res.Metrics.Degradations()
 	m.SegmentsPruned = res.Metrics.SegmentsPruned()
 	m.SegmentsSpilled = res.Metrics.SegmentsSpilled()
+	m.CacheHits = res.Metrics.CacheHits()
+	m.CacheMisses = res.Metrics.CacheMisses()
+	m.CacheEvictions = res.Metrics.CacheEvictions()
+	m.IncrementalUpgrades = res.Metrics.IncrementalUpgrades()
 	m.PeakModelMB = c.ExecutorOverheadMB*float64(m.Spec.Executors) + float64(m.PeakDataBytes)/1e6
 	m.ResultRows = len(res.Rows)
 }

@@ -44,6 +44,7 @@ func Experiments() []Experiment {
 		{"parallel", "Morsel-driven parallel runtime — work-stealing morsel scheduling vs whole-partition tasks", runParallel},
 		{"chaos", "Fault-tolerant task runtime — deterministic fault injection over fault rate × retry budget", runChaos},
 		{"storage", "Out-of-core columnar segments — zone-map pruning and governed spill vs in-memory", runStorage},
+		{"cache", "Skyline result cache — hit vs recompute latency, zipfian repeat mix, incremental upgrades vs invalidation", runCache},
 	}
 }
 

@@ -83,11 +83,20 @@ type Record struct {
 	// SegmentsSpilled counts gather inputs spilled to temporary segments
 	// under memory pressure. Deterministic per (data, plan, budget) —
 	// benchdiff gates on both.
-	SegmentsPruned  int64  `json:"segments_pruned,omitempty"`
-	SegmentsSpilled int64  `json:"segments_spilled,omitempty"`
-	ResultRows      int    `json:"result_rows"`
-	TimedOut        bool   `json:"timed_out"`
-	Error           string `json:"error,omitempty"`
+	SegmentsPruned  int64 `json:"segments_pruned,omitempty"`
+	SegmentsSpilled int64 `json:"segments_spilled,omitempty"`
+	// CacheHits and CacheMisses count result-cache lookups;
+	// IncrementalUpgrades counts in-place append upgrades drained by hits.
+	// Pure functions of the seeded query sequence, so benchdiff gates on
+	// all three. CacheEvictions (budget-driven whole-entry evictions) is
+	// informational.
+	CacheHits           int64  `json:"cache_hits,omitempty"`
+	CacheMisses         int64  `json:"cache_misses,omitempty"`
+	CacheEvictions      int64  `json:"cache_evictions,omitempty"`
+	IncrementalUpgrades int64  `json:"incremental_upgrades,omitempty"`
+	ResultRows          int    `json:"result_rows"`
+	TimedOut            bool   `json:"timed_out"`
+	Error               string `json:"error,omitempty"`
 }
 
 // NewRecord flattens a measurement into a record tagged with the
@@ -132,6 +141,10 @@ func NewRecord(experiment string, m Measurement) Record {
 		DegradationLog:      m.DegradationLog,
 		SegmentsPruned:      m.SegmentsPruned,
 		SegmentsSpilled:     m.SegmentsSpilled,
+		CacheHits:           m.CacheHits,
+		CacheMisses:         m.CacheMisses,
+		CacheEvictions:      m.CacheEvictions,
+		IncrementalUpgrades: m.IncrementalUpgrades,
 		ResultRows:          m.ResultRows,
 		TimedOut:            m.TimedOut,
 	}

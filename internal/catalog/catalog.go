@@ -8,10 +8,17 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"skysql/internal/storage"
 	"skysql/internal/types"
 )
+
+// versionCounter issues table versions. It is process-global and strictly
+// increasing, so a version is never reused — not even across a drop and
+// re-register of the same name — which lets version-keyed consumers (plan
+// sketches, the result cache) treat "version matches" as "same data".
+var versionCounter atomic.Int64
 
 // Table is a named relation with a schema and either materialized rows or
 // a segment-backed store (exactly one of Rows / Segments is set). A
@@ -23,6 +30,12 @@ type Table struct {
 	Schema   *types.Schema
 	Rows     []types.Row
 	Segments *storage.Store
+
+	// version is the table's identity-over-time: bumped on creation, on
+	// (re-)registration, on drop, and on every row append. Consumers that
+	// key cached state on (table, version) — the scan's cost sketch, the
+	// skyline result cache — are invalidated by construction when it moves.
+	version atomic.Int64
 }
 
 // NewTable creates a table, validating that each row matches the schema
@@ -34,13 +47,43 @@ func NewTable(name string, schema *types.Schema, rows []types.Row) (*Table, erro
 				i, name, len(r), schema.Len())
 		}
 	}
-	return &Table{Name: strings.ToLower(name), Schema: schema, Rows: rows}, nil
+	t := &Table{Name: strings.ToLower(name), Schema: schema, Rows: rows}
+	t.bump()
+	return t, nil
 }
 
 // NewSegmentTable creates a table backed by a segment store instead of
 // materialized rows.
 func NewSegmentTable(name string, store *storage.Store) *Table {
-	return &Table{Name: strings.ToLower(name), Schema: store.Schema(), Segments: store}
+	t := &Table{Name: strings.ToLower(name), Schema: store.Schema(), Segments: store}
+	t.bump()
+	return t
+}
+
+// Version returns the table's current version. Zero means the table was
+// built by hand (struct literal) and never registered; every constructor
+// and catalog mutation path yields a positive version.
+func (t *Table) Version() int64 { return t.version.Load() }
+
+// bump advances the table to a fresh, globally unique version.
+func (t *Table) bump() { t.version.Store(versionCounter.Add(1)) }
+
+// Append adds rows to an in-memory table, validating widths, and bumps the
+// table's version so version-keyed consumers see the change. Segment-backed
+// tables are immutable at this layer and refuse the append.
+func (t *Table) Append(rows ...types.Row) error {
+	if t.Segments != nil {
+		return fmt.Errorf("catalog: table %q is segment-backed; appends are not supported", t.Name)
+	}
+	for i, r := range rows {
+		if len(r) != t.Schema.Len() {
+			return fmt.Errorf("catalog: appended row %d of table %q has %d values, schema has %d columns",
+				i, t.Name, len(r), t.Schema.Len())
+		}
+	}
+	t.Rows = append(t.Rows, rows...)
+	t.bump()
+	return nil
 }
 
 // RowCount is the table's total row count — len(Rows) for in-memory
@@ -61,10 +104,13 @@ type Catalog struct {
 // New creates an empty catalog.
 func New() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
 
-// Register adds or replaces a table.
+// Register adds or replaces a table, bumping its version: registration is
+// a visibility event, so anything cached against a pre-registration
+// version of the same Table value is invalidated.
 func (c *Catalog) Register(t *Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	t.bump()
 	c.tables[strings.ToLower(t.Name)] = t
 }
 
@@ -79,10 +125,15 @@ func (c *Catalog) Lookup(name string) (*Table, error) {
 	return t, nil
 }
 
-// Drop removes a table; it is a no-op when absent.
+// Drop removes a table; it is a no-op when absent. The dropped table's
+// version is bumped so cached results keyed on its pre-drop version can
+// never be served again, even if the same *Table value is re-registered.
 func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if t, ok := c.tables[strings.ToLower(name)]; ok {
+		t.bump()
+	}
 	delete(c.tables, strings.ToLower(name))
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"skysql/internal/storage"
 	"skysql/internal/types"
 )
 
@@ -51,6 +52,81 @@ func TestCatalogRegisterLookupDrop(t *testing.T) {
 		t.Error("dropped table must be gone")
 	}
 	c.Drop("hotels") // idempotent
+}
+
+func TestTableVersionLifecycle(t *testing.T) {
+	tab, err := NewTable("h", hotelSchema(), []types.Row{
+		{types.Int(1), types.Float(50), types.Int(7)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := tab.Version()
+	if v0 <= 0 {
+		t.Fatalf("NewTable must assign a positive version, got %d", v0)
+	}
+	c := New()
+	c.Register(tab)
+	v1 := tab.Version()
+	if v1 <= v0 {
+		t.Errorf("Register must bump the version: %d -> %d", v0, v1)
+	}
+	if err := tab.Append(types.Row{types.Int(2), types.Float(60), types.Int(8)}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := tab.Version()
+	if v2 <= v1 {
+		t.Errorf("Append must bump the version: %d -> %d", v1, v2)
+	}
+	if len(tab.Rows) != 2 {
+		t.Errorf("appended rows = %d, want 2", len(tab.Rows))
+	}
+	c.Drop("h")
+	v3 := tab.Version()
+	if v3 <= v2 {
+		t.Errorf("Drop must bump the dropped table's version: %d -> %d", v2, v3)
+	}
+	// Versions are globally unique: a second table never reuses one.
+	other, _ := NewTable("g", hotelSchema(), nil)
+	if other.Version() <= v3 {
+		t.Errorf("versions must be globally monotonic: %d after %d", other.Version(), v3)
+	}
+	// A struct-literal table starts at zero until registered.
+	bare := &Table{Name: "bare", Schema: hotelSchema()}
+	if bare.Version() != 0 {
+		t.Errorf("unregistered literal table version = %d, want 0", bare.Version())
+	}
+	c.Register(bare)
+	if bare.Version() <= 0 {
+		t.Error("registration must assign a real version to a literal table")
+	}
+}
+
+func TestTableAppendValidation(t *testing.T) {
+	tab, _ := NewTable("h", hotelSchema(), nil)
+	v := tab.Version()
+	if err := tab.Append(types.Row{types.Int(1)}); err == nil {
+		t.Error("short appended row must be rejected")
+	}
+	if tab.Version() != v || len(tab.Rows) != 0 {
+		t.Error("failed append must not change the table")
+	}
+}
+
+func TestSegmentTableRefusesAppend(t *testing.T) {
+	store, err := storage.FromRows([]types.Row{
+		{types.Int(1), types.Float(50), types.Int(7)},
+	}, hotelSchema(), "", "h", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewSegmentTable("h", store)
+	if tab.Version() <= 0 {
+		t.Error("NewSegmentTable must assign a version")
+	}
+	if err := tab.Append(types.Row{types.Int(2), types.Float(60), types.Int(8)}); err == nil {
+		t.Error("segment-backed table must refuse appends")
+	}
 }
 
 func TestInferNullability(t *testing.T) {

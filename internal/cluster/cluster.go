@@ -133,6 +133,11 @@ type Metrics struct {
 	segmentsPruned  atomic.Int64
 	segmentsSpilled atomic.Int64
 
+	cacheHits           atomic.Int64
+	cacheMisses         atomic.Int64
+	cacheEvictions      atomic.Int64
+	incrementalUpgrades atomic.Int64
+
 	mu         sync.Mutex
 	stageTimes []StageTime
 	adaptive   []AdaptiveDecision
@@ -193,6 +198,91 @@ func (m *Metrics) FormatSegments() string {
 		return ""
 	}
 	return fmt.Sprintf("segments: %d pruned, %d spilled", pruned, spilled)
+}
+
+// AddCacheHit records one skyline result-cache hit: a query answered from
+// a cached entry without executing its stages.
+func (m *Metrics) AddCacheHit() {
+	if m != nil {
+		m.cacheHits.Add(1)
+	}
+}
+
+// CacheHits returns the number of result-cache hits. Hit/miss outcomes are
+// pure functions of (query sequence, table versions, cache budget) — never
+// wall clock — so benchdiff gates the count.
+func (m *Metrics) CacheHits() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cacheHits.Load()
+}
+
+// AddCacheMiss records one result-cache lookup that found no usable entry
+// and fell through to stage execution.
+func (m *Metrics) AddCacheMiss() {
+	if m != nil {
+		m.cacheMisses.Add(1)
+	}
+}
+
+// CacheMisses returns the number of result-cache misses.
+func (m *Metrics) CacheMisses() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cacheMisses.Load()
+}
+
+// AddCacheEvictions records n whole entries evicted from the result cache
+// by its LRU byte budget (sidecar drops are degradation, not eviction, and
+// are not counted here).
+func (m *Metrics) AddCacheEvictions(n int64) {
+	if m != nil && n != 0 {
+		m.cacheEvictions.Add(n)
+	}
+}
+
+// CacheEvictions returns the number of whole result-cache entries evicted
+// under the byte budget.
+func (m *Metrics) CacheEvictions() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cacheEvictions.Load()
+}
+
+// AddIncrementalUpgrade records one cache entry upgraded in place after a
+// table append — new points absorbed by stream.Incremental against the
+// cached skyline instead of invalidating the entry.
+func (m *Metrics) AddIncrementalUpgrade() {
+	if m != nil {
+		m.incrementalUpgrades.Add(1)
+	}
+}
+
+// IncrementalUpgrades returns the number of in-place incremental cache
+// entry upgrades.
+func (m *Metrics) IncrementalUpgrades() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.incrementalUpgrades.Load()
+}
+
+// FormatResultCache renders the result-cache counters, or "" when the
+// query touched no cache (no noise for uncached runs).
+func (m *Metrics) FormatResultCache() string {
+	if m == nil {
+		return ""
+	}
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	evicted, upgraded := m.cacheEvictions.Load(), m.incrementalUpgrades.Load()
+	if hits == 0 && misses == 0 && evicted == 0 && upgraded == 0 {
+		return ""
+	}
+	return fmt.Sprintf("result cache: %d hits, %d misses, %d evictions, %d incremental upgrades",
+		hits, misses, evicted, upgraded)
 }
 
 // AddMorsels records n morsel tasks scheduled by a morsel-parallel round.

@@ -1,0 +1,31 @@
+package datagen
+
+import "math/rand"
+
+// Zipf draws ranks in [0, n) under a zipfian (power-law) distribution:
+// rank 0 is the hottest, the tail long and cold. It models the skewed
+// query popularity of a serving workload — many users issuing the same
+// few skyline queries — and drives the result-cache benchmark's query
+// mix. Seeded and fully deterministic: the same (seed, s, n) yields the
+// same rank sequence on every run, which is what lets benchdiff gate
+// cache hit/miss counts.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf creates a generator over ranks [0, n) with skew exponent s
+// (must be > 1; larger is more skewed — s ≈ 1.1 approximates classic web
+// workload skew). n < 1 is clamped to 1.
+func NewZipf(seed int64, s float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Next returns the next rank in [0, n).
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }

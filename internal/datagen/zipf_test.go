@@ -1,0 +1,49 @@
+package datagen
+
+import "testing"
+
+func TestZipfDeterministicAndSkewed(t *testing.T) {
+	const n, draws = 16, 10000
+	a := NewZipf(42, 1.2, n)
+	b := NewZipf(42, 1.2, n)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, ra, rb)
+		}
+		if ra < 0 || ra >= n {
+			t.Fatalf("rank %d out of [0,%d)", ra, n)
+		}
+		counts[ra]++
+	}
+	// Skew: the hottest rank dominates, and frequency decays with rank.
+	if counts[0] < draws/3 {
+		t.Errorf("rank 0 drew %d of %d; zipfian head must dominate", counts[0], draws)
+	}
+	if counts[0] <= counts[n-1] {
+		t.Errorf("head (%d) must outdraw tail (%d)", counts[0], counts[n-1])
+	}
+	// Different seed yields a different sequence.
+	c := NewZipf(43, 1.2, n)
+	a2 := NewZipf(42, 1.2, n)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds must yield different sequences")
+	}
+}
+
+func TestZipfClampsDegenerateParams(t *testing.T) {
+	z := NewZipf(1, 0.5, 0) // s <= 1 and n < 1 both clamped
+	for i := 0; i < 100; i++ {
+		if r := z.Next(); r != 0 {
+			t.Fatalf("n clamped to 1 must always draw rank 0, got %d", r)
+		}
+	}
+}

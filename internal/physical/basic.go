@@ -30,9 +30,9 @@ type ScanExec struct {
 	// zone maps prove a predicate keeps no row, so results are unchanged.
 	Prune []expr.Expr
 
-	sketchMu   sync.Mutex
-	sketch     *cost.Table
-	sketchRows int
+	sketchMu      sync.Mutex
+	sketch        *cost.Table
+	sketchVersion int64
 }
 
 // NewScanExec creates a table scan with the given (qualified) schema.
@@ -53,20 +53,21 @@ func (s *ScanExec) String() string {
 // Sketch returns the column sketches of the scanned table — the
 // cardinality/selectivity input of the cost model. For in-memory tables
 // it is computed once per scan (a single cheap pass, a fraction of the
-// decode the sketch gates) and recomputed when the table's row count
-// changed between executions, so a re-run plan over a grown table does
-// not decide off a stale sketch. Segment-backed tables answer from the
-// persisted footer stats — merged zone maps plus histograms — without
-// touching a single page.
+// decode the sketch gates) and recomputed when the table's version moved
+// between executions, so a re-run plan over a grown or replaced table
+// does not decide off a stale sketch. (Keying on version rather than row
+// count also catches same-cardinality content changes.) Segment-backed
+// tables answer from the persisted footer stats — merged zone maps plus
+// histograms — without touching a single page.
 func (s *ScanExec) Sketch() *cost.Table {
 	if s.Table.Segments != nil {
 		return s.Table.Segments.Sketch()
 	}
 	s.sketchMu.Lock()
 	defer s.sketchMu.Unlock()
-	if s.sketch == nil || s.sketchRows != len(s.Table.Rows) {
+	if v := s.Table.Version(); s.sketch == nil || s.sketchVersion != v {
 		s.sketch = cost.Sketch(s.Table.Rows, s.schema.Len())
-		s.sketchRows = len(s.Table.Rows)
+		s.sketchVersion = v
 	}
 	return s.sketch
 }

@@ -104,6 +104,22 @@ type Options struct {
 	// score to the Z-order space-filling curve (same skyline, different
 	// processing order; ablated in skybench).
 	SFSZorderPresort bool
+	// ResultCache, when non-nil, lets the planner wrap the compiled plan in
+	// a result-cache consultation (internal/resultcache): the wrapper checks
+	// the cache before any stage executes and records the hit/miss decision
+	// in Metrics.CostDecisions. Nil means no caching.
+	ResultCache PlanCache
+}
+
+// PlanCache is the planner's view of a skyline result cache. The concrete
+// implementation lives in internal/resultcache (which imports this
+// package); the planner only needs to offer it the finished plan.
+type PlanCache interface {
+	// Bind inspects the compiled physical plan and returns either the plan
+	// unchanged (uncacheable shape) or a wrapper operator that consults the
+	// cache at execution time. Bind must preserve the plan's schema and
+	// result rows bit for bit.
+	Bind(root Operator, opts Options) Operator
 }
 
 // Plan lowers a resolved (and optionally optimized) logical plan into a
@@ -120,6 +136,9 @@ func Plan(n plan.Node, opts Options) (Operator, error) {
 		op = CompileStages(op)
 	}
 	pushPrunePredicates(op)
+	if opts.ResultCache != nil {
+		op = opts.ResultCache.Bind(op, opts)
+	}
 	return op, nil
 }
 

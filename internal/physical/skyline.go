@@ -71,6 +71,12 @@ func skyTag(dims []BoundDim, incomplete bool) string {
 	return fmt.Sprintf("%s|incomplete=%v", dimStrings(dims), incomplete)
 }
 
+// SkyTag exposes the sidecar tag of a skyline clause to packages that
+// rebuild batches outside the operators — the result cache's incremental
+// maintenance re-decodes an upgraded entry's sidecar under the same tag
+// the cold path would have produced, so the hit stays reuse-equivalent.
+func SkyTag(dims []BoundDim, incomplete bool) string { return skyTag(dims, incomplete) }
+
 func rowsOf(pts []skyline.Point) []types.Row {
 	rows := make([]types.Row, len(pts))
 	for i, p := range pts {

@@ -1,0 +1,370 @@
+// Package resultcache provides a session-scoped skyline result cache.
+//
+// Every query so far recomputed its skyline from scratch even though a
+// skyline is tiny relative to its input and real workloads repeat the
+// same queries heavily (the motivation of ROADMAP open item 3). The
+// cache closes that gap at the plan level: the physical planner offers
+// it the compiled plan (physical.Options.ResultCache), and cacheable
+// plans are wrapped in a CacheExec that consults the cache before any
+// stage executes.
+//
+// Keys are normalized plan fingerprints: table identity plus version
+// (catalog.Table.Version, the invalidation source of truth), the
+// canonicalized SKYLINE OF clause (dimension order normalized when the
+// plan shape is provably order-invariant), the pushed-down predicate set
+// (filter conjuncts sorted), and the strategy-relevant plan parameters
+// (algorithm, window cap, presort — all encoded in the operator shapes).
+// Ablation switches that are bit-identical by the engine's standing
+// contract (stage fusion, columnar kernel, vectorized expressions) are
+// deliberately excluded, so ablated sessions share entries.
+//
+// An entry stores the result rows plus their columnar skyline.Batch
+// sidecar, so a hit re-enters the data plane decode-free. Entries are
+// byte-accounted against the memory governor at store time and held
+// under an LRU byte budget whose pressure response mirrors the
+// degradation ladder: the oldest entry first sheds its sidecar
+// (cheap degradation), then is evicted whole.
+//
+// Appends to a cached table either upgrade matching entries in place —
+// the new points need dominance tests only against the cached skyline,
+// via stream.Incremental — or invalidate them when the entry's plan
+// shape is not maintainable or a new point carries a NULL skyline
+// dimension. A hit serves exactly the rows a cold recompute would, bit
+// for bit; stale entries can never be served because the key embeds the
+// table versions read at execution time.
+package resultcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"skysql/internal/catalog"
+	"skysql/internal/cluster"
+	"skysql/internal/expr"
+	"skysql/internal/physical"
+	"skysql/internal/skyline"
+	"skysql/internal/stream"
+	"skysql/internal/types"
+)
+
+// DefaultBudget is the byte budget used when a caller enables the cache
+// without choosing one.
+const DefaultBudget = 64 << 20
+
+// Cache is a session-scoped skyline result cache. Safe for concurrent
+// use.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // front = most recently used; values are *entry
+	byKey  map[string]*list.Element
+
+	// Session-cumulative counters: per-query deltas also flow into the
+	// running query's cluster.Metrics, but upgrades happen outside any
+	// query and benches want totals, so the cache keeps its own.
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	upgrades  atomic.Int64
+}
+
+// New creates a cache with the given byte budget (<= 0 selects
+// DefaultBudget).
+func New(budget int64) *Cache {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Cache{budget: budget, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Stats is a point-in-time snapshot of the cache's cumulative counters
+// and current occupancy.
+type Stats struct {
+	Hits, Misses, Evictions, Upgrades int64
+	Entries                           int
+	UsedBytes                         int64
+}
+
+// Stats returns the session-cumulative counters and current occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Evictions: c.evictions.Load(), Upgrades: c.upgrades.Load(),
+		Entries: c.lru.Len(), UsedBytes: c.used,
+	}
+}
+
+// maintenance carries what incremental upgrade needs: the scan table, the
+// pre-skyline filter conjuncts, and the skyline clause bound to the scan
+// schema. Present only for plans whose shape is provably maintainable
+// (complete unbounded-window BNL over a single in-memory scan).
+type maintenance struct {
+	table    *catalog.Table
+	filters  []expr.Expr
+	dims     []physical.BoundDim
+	dirs     []skyline.Dir
+	distinct bool
+	tag      string
+}
+
+// entry is one cached result.
+type entry struct {
+	key        string // structural fingerprint + dep versions
+	structural string
+	rows       []types.Row
+	batch      *skyline.Batch // nil once the sidecar was shed
+	rowBytes   int64
+	batchBytes int64
+	deps       []*catalog.Table
+	maint      *maintenance
+	// pendingUpgrades counts in-place incremental upgrades applied since
+	// the entry was last served; the next hit drains them into that
+	// query's metrics, so the upgrade becomes visible in the query that
+	// benefits from it.
+	pendingUpgrades int64
+}
+
+// lookup returns the cached rows and sidecar under key, marking the entry
+// most-recently used. The third result reports the hit; the fourth is the
+// number of incremental upgrades drained by this hit.
+func (c *Cache) lookup(key string) ([]types.Row, *skyline.Batch, bool, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, nil, false, 0
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*entry)
+	upgrades := e.pendingUpgrades
+	e.pendingUpgrades = 0
+	c.hits.Add(1)
+	return e.rows, e.batch, true, upgrades
+}
+
+// store inserts (or refreshes) the entry under key. The bytes are charged
+// to the running query's memory governor first: a store that would blow
+// the query budget is skipped — caching is an optimization and must never
+// fail a query. When the governor already degraded to sidecar-shedding,
+// the entry is stored without its sidecar, mirroring the ladder.
+func (c *Cache) store(ctx *cluster.Context, key, structural string, rows []types.Row, batch *skyline.Batch, deps []*catalog.Table, maint *maintenance) {
+	if ctx != nil && ctx.SidecarsDropped() {
+		batch = nil
+	}
+	var rowBytes, batchBytes int64
+	for _, r := range rows {
+		rowBytes += r.MemSize()
+	}
+	rowBytes += int64(len(key))
+	if batch != nil {
+		batchBytes = batch.MemSize()
+	}
+	if rowBytes > c.budget {
+		return // larger than the whole cache: not storable even bare
+	}
+	if ctx != nil && ctx.Metrics != nil {
+		ctx.Metrics.Alloc(rowBytes + batchBytes)
+		if err := ctx.CheckBudget(); err != nil {
+			ctx.Metrics.Free(rowBytes + batchBytes)
+			return
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Same key, fresh result (e.g. a concurrent miss): replace in place.
+		e := el.Value.(*entry)
+		c.used -= e.rowBytes + e.batchBytes
+		e.rows, e.batch, e.rowBytes, e.batchBytes = rows, batch, rowBytes, batchBytes
+		c.used += rowBytes + batchBytes
+		c.lru.MoveToFront(el)
+	} else {
+		e := &entry{key: key, structural: structural, rows: rows, batch: batch,
+			rowBytes: rowBytes, batchBytes: batchBytes, deps: deps, maint: maint}
+		c.byKey[key] = c.lru.PushFront(e)
+		c.used += rowBytes + batchBytes
+	}
+	c.shed(ctx)
+}
+
+// shed brings the cache back under its byte budget, oldest entry first:
+// an entry still carrying its sidecar sheds that first (the hit stays a
+// hit, it just re-enters the data plane boxed), and only a bare entry is
+// evicted whole. Mirrors the memory governor's spill-before-abort ladder.
+func (c *Cache) shed(ctx *cluster.Context) {
+	for c.used > c.budget {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		if e.batch != nil {
+			c.used -= e.batchBytes
+			e.batch, e.batchBytes = nil, 0
+			continue
+		}
+		c.used -= e.rowBytes
+		c.lru.Remove(el)
+		delete(c.byKey, e.key)
+		c.evictions.Add(1)
+		if ctx != nil {
+			ctx.Metrics.AddCacheEvictions(1)
+		}
+	}
+}
+
+// TableChanged tells the cache rows were appended to t (after the
+// version bump). Entries depending on t are incrementally upgraded in
+// place when maintainable — each new point is dominance-tested only
+// against the cached skyline via stream.Incremental — and invalidated
+// otherwise, including when a new point carries a NULL skyline dimension
+// (incremental maintenance requires complete data) or fails a filter
+// evaluation. It returns the number of entries upgraded and invalidated.
+//
+// Deletions need no call: DropTable bumps the version, so stale keys can
+// simply never match again (the bytes age out via LRU).
+func (c *Cache) TableChanged(t *catalog.Table, newRows []types.Row) (upgraded, invalidated int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*entry)
+		if !dependsOn(e, t) {
+			continue
+		}
+		if e.maint == nil || e.maint.table != t {
+			c.remove(el, e) // key embeds a dead version: pure dead weight
+			invalidated++
+			continue
+		}
+		if c.upgrade(el, e, newRows) {
+			upgraded++
+		} else {
+			c.remove(el, e)
+			invalidated++
+		}
+	}
+	return upgraded, invalidated
+}
+
+func dependsOn(e *entry, t *catalog.Table) bool {
+	for _, d := range e.deps {
+		if d == t {
+			return true
+		}
+	}
+	return false
+}
+
+// remove drops an entry without counting an eviction (invalidation is
+// correctness, eviction is memory pressure).
+func (c *Cache) remove(el *list.Element, e *entry) {
+	c.used -= e.rowBytes + e.batchBytes
+	c.lru.Remove(el)
+	delete(c.byKey, e.key)
+}
+
+// upgrade absorbs newRows into e incrementally and re-keys it under the
+// table's new version. Reports false when the entry must be invalidated
+// instead (NULL dimension, evaluation error, or a key collision).
+//
+// Bit-identity argument: a maintainable plan (complete unbounded-window
+// BNL, locals chunk-partitioned, AllTuples gather preserving partition
+// order) emits the table-order subsequence of the skyline. The cached
+// rows are that subsequence for the pre-append table; seeding the
+// incremental window with them (mutually non-dominating, so every seed
+// is admitted with no evictions, preserving order) and then adding the
+// surviving new rows in append order yields old survivors in table
+// order followed by new survivors in append order — exactly the
+// table-order subsequence a cold recompute over the grown table emits.
+func (c *Cache) upgrade(el *list.Element, e *entry, newRows []types.Row) bool {
+	m := e.maint
+	inc := stream.NewIncremental(m.dirs, m.distinct)
+	for _, row := range e.rows {
+		dims, ok := evalDims(m.dims, row)
+		if !ok {
+			return false
+		}
+		if _, err := inc.Add(dims, row); err != nil {
+			return false
+		}
+	}
+	for _, row := range newRows {
+		keep := true
+		for _, f := range m.filters {
+			ok, err := expr.EvalPredicate(f, row)
+			if err != nil {
+				return false
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		dims, ok := evalDims(m.dims, row)
+		if !ok {
+			return false
+		}
+		if _, err := inc.Add(dims, row); err != nil {
+			// NULL skyline dimension (or width mismatch): route to
+			// invalidation, per the complete-data restriction.
+			return false
+		}
+	}
+	pts := inc.Skyline()
+	rows := make([]types.Row, len(pts))
+	points := make([]skyline.Point, len(pts))
+	for i, p := range pts {
+		rows[i] = p.Row
+		points[i] = p
+	}
+	newKey := entryKey(e.structural, e.deps)
+	if _, exists := c.byKey[newKey]; exists && newKey != e.key {
+		return false // a fresh recompute beat us to the new version
+	}
+	var rowBytes int64
+	for _, r := range rows {
+		rowBytes += r.MemSize()
+	}
+	rowBytes += int64(len(newKey))
+	var batch *skyline.Batch
+	var batchBytes int64
+	if e.batch != nil { // rebuild the sidecar only if the entry still had one
+		if b, ok := skyline.DecodeBatch(points, m.dirs, false, nil); ok {
+			b.Tag = m.tag
+			batch, batchBytes = b, b.MemSize()
+		}
+	}
+	c.used += (rowBytes + batchBytes) - (e.rowBytes + e.batchBytes)
+	delete(c.byKey, e.key)
+	e.key, e.rows, e.batch = newKey, rows, batch
+	e.rowBytes, e.batchBytes = rowBytes, batchBytes
+	e.pendingUpgrades++
+	c.byKey[newKey] = el
+	c.upgrades.Add(1)
+	c.shed(nil)
+	return true
+}
+
+// evalDims evaluates the skyline dimension vector of a row; ok=false on
+// evaluation error.
+func evalDims(dims []physical.BoundDim, row types.Row) (types.Row, bool) {
+	out := make(types.Row, len(dims))
+	for i, d := range dims {
+		v, err := d.E.Eval(row)
+		if err != nil {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}

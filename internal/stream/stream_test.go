@@ -108,6 +108,115 @@ func TestIncrementalMatchesBatchBNL(t *testing.T) {
 	}
 }
 
+// TestIncrementalPermutationProperty is the property behind the result
+// cache's incremental maintenance: absorbing ANY permutation of a tuple
+// set yields exactly the batch engine's skyline (as a multiset — which
+// duplicate survives under DISTINCT legitimately depends on arrival
+// order, so rows are compared by their dimension vectors). Exhaustive
+// over all permutations of small sets, sampled for larger ones, both
+// distinct and non-distinct.
+func TestIncrementalPermutationProperty(t *testing.T) {
+	dirs := []skyline.Dir{skyline.Min, skyline.Max}
+	rng := rand.New(rand.NewSource(7))
+	newSet := func(n, vals int) []types.Row {
+		set := make([]types.Row, n)
+		for i := range set {
+			set[i] = row(int64(rng.Intn(vals)), int64(rng.Intn(vals)))
+		}
+		return set
+	}
+	check := func(set []types.Row, perm []int, distinct bool) {
+		t.Helper()
+		inc := NewIncremental(dirs, distinct)
+		pts := make([]skyline.Point, len(set))
+		for i, r := range set {
+			pts[i] = skyline.Point{Dims: r, Row: r}
+		}
+		for _, i := range perm {
+			if _, err := inc.Add(set[i], set[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := skyline.BNL(pts, dirs, distinct, skyline.Compare, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := inc.Skyline()
+		g := make([]string, len(got))
+		for i := range got {
+			g[i] = got[i].Dims.String()
+		}
+		w := make([]string, len(want))
+		for i := range want {
+			w[i] = want[i].Dims.String()
+		}
+		sort.Strings(g)
+		sort.Strings(w)
+		if len(g) != len(w) {
+			t.Fatalf("distinct=%v perm=%v: incremental %v != batch %v", distinct, perm, g, w)
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("distinct=%v perm=%v: incremental %v != batch %v", distinct, perm, g, w)
+			}
+		}
+	}
+	var permute func(n int, f func([]int))
+	permute = func(n int, f func([]int)) {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				f(perm)
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+	}
+	// Exhaustive: every permutation of 5-tuple sets (120 orders each),
+	// with small value ranges to force duplicates and dominance chains.
+	for trial := 0; trial < 4; trial++ {
+		set := newSet(5, 4)
+		for _, distinct := range []bool{false, true} {
+			permute(len(set), func(p []int) { check(set, p, distinct) })
+		}
+	}
+	// Sampled: random permutations of larger sets.
+	for trial := 0; trial < 20; trial++ {
+		set := newSet(60, 8)
+		perm := rng.Perm(len(set))
+		check(set, perm, trial%2 == 0)
+	}
+}
+
+// TestIncrementalNullRoutingRefusal pins the NULL-routing contract the
+// result cache relies on: a NULL skyline dimension is refused with an
+// error (the caller must route to batch recomputation / invalidation),
+// and the refusal leaves the maintained window untouched and usable.
+func TestIncrementalNullRoutingRefusal(t *testing.T) {
+	inc := NewIncremental([]skyline.Dir{skyline.Min, skyline.Min}, false)
+	if _, err := inc.Add(row(3, 3), row(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Add(types.Row{types.Int(1), types.Null}, row(1, 0)); err == nil {
+		t.Fatal("NULL dimension must be refused")
+	}
+	if inc.Size() != 1 || inc.Seen() != 1 {
+		t.Errorf("refusal must not mutate state: size=%d seen=%d", inc.Size(), inc.Seen())
+	}
+	if ev, err := inc.Add(row(1, 1), row(1, 1)); err != nil || !ev.Admitted || len(ev.Evicted) != 1 {
+		t.Errorf("window must stay usable after a refusal: %+v %v", ev, err)
+	}
+}
+
 func TestEvictionEventsAreConsistent(t *testing.T) {
 	// Every evicted point must have been in the skyline immediately
 	// before, and the net size change must match.

@@ -12,6 +12,7 @@ import (
 	"skysql/internal/cluster"
 	"skysql/internal/core"
 	"skysql/internal/physical"
+	"skysql/internal/resultcache"
 	"skysql/internal/storage"
 )
 
@@ -41,6 +42,7 @@ type Session struct {
 	segRows      int
 	spillDir     string
 	noSegPrune   bool
+	cache        *resultcache.Cache
 
 	poolMu sync.Mutex
 	pool   *cluster.WorkerPool
@@ -283,6 +285,30 @@ func WithoutSegmentPruning() Option {
 	return func(s *Session) { s.noSegPrune = true }
 }
 
+// WithResultCache enables the session-scoped skyline result cache with
+// the given byte budget (<= 0 selects resultcache.DefaultBudget, 64 MiB).
+// Cacheable queries — skyline plans whose every operator the cache can
+// fingerprint — are then answered from cache when the same normalized
+// plan was executed before over the same table versions, bit-identically
+// to a cold recompute. Entries store rows plus the columnar sidecar (a
+// hit re-enters the data plane decode-free), are held under an LRU byte
+// budget that sheds sidecars before whole entries, and are invalidated
+// by any table-version bump — except in-memory appends to plans the
+// cache can maintain incrementally, which upgrade entries in place via
+// stream.Incremental (see Session.AppendRows). Hit/miss/eviction/upgrade
+// counts surface in Explain, the skysql shell's \s, and skybench.
+// The cache is off by default: WithoutResultCache spells that out.
+func WithResultCache(bytes int64) Option {
+	return func(s *Session) { s.cache = resultcache.New(bytes) }
+}
+
+// WithoutResultCache disables the skyline result cache — the default;
+// the option exists so callers can spell the ablation out explicitly,
+// mirroring WithoutStageFusion.
+func WithoutResultCache() Option {
+	return func(s *Session) { s.cache = nil }
+}
+
 // NewSession creates a session with an empty catalog.
 func NewSession(opts ...Option) *Session {
 	s := &Session{
@@ -418,6 +444,37 @@ func (s *Session) LoadCSV(name, path string, kinds []Kind) error {
 	return nil
 }
 
+// AppendRows appends rows to a registered in-memory table, bumping its
+// version (so uncached plans re-sketch and stale cache entries stop
+// matching) and, when the result cache is enabled, offering the change
+// to the cache: entries over maintainable plan shapes absorb the new
+// rows incrementally — dominance tests only against the cached skyline,
+// via stream.Incremental — while all other dependent entries are
+// invalidated. Segment-backed tables refuse appends (they are immutable
+// at this layer).
+func (s *Session) AppendRows(name string, rows []Row) error {
+	t, err := s.engine.Catalog.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := t.Append(rows...); err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.cache.TableChanged(t, rows)
+	}
+	return nil
+}
+
+// ResultCacheStats returns the cumulative counters and occupancy of the
+// session's result cache; the zero Stats when caching is disabled.
+func (s *Session) ResultCacheStats() resultcache.Stats {
+	if s.cache == nil {
+		return resultcache.Stats{}
+	}
+	return s.cache.Stats()
+}
+
 // DropTable removes a table from the catalog.
 func (s *Session) DropTable(name string) { s.engine.Catalog.Drop(name) }
 
@@ -426,7 +483,7 @@ func (s *Session) Tables() []string { return s.engine.Catalog.Names() }
 
 // options assembles the physical planning options of this session.
 func (s *Session) options() physical.Options {
-	return physical.Options{
+	opts := physical.Options{
 		Strategy:               s.strategy,
 		SkylineWindowCap:       s.windowCap,
 		DisableStageFusion:     s.noFusion,
@@ -434,6 +491,12 @@ func (s *Session) options() physical.Options {
 		DisableVectorizedExprs: s.noVector,
 		SFSZorderPresort:       s.zorderSFS,
 	}
+	if s.cache != nil {
+		// Guarded assignment: a typed-nil *Cache in the interface would
+		// defeat the planner's nil check.
+		opts.ResultCache = s.cache
+	}
+	return opts
 }
 
 // SQL compiles a query string into a lazy DataFrame.

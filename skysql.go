@@ -217,6 +217,41 @@
 // shell's \s, skybench -json); `skybench -experiment storage` measures
 // memory vs segments vs segments+pruning plus a budgeted spill cell
 // (BENCH_PR8.json), benchdiff-gated on both counters.
+//
+// # Skyline result cache
+//
+// Sessions built WithResultCache(bytes) (0 = 64 MiB default;
+// WithoutResultCache disables; the shell's -cache flag mirrors both)
+// memoize skyline results: the planner wraps every skyline-bearing plan
+// in a cache node keyed on a normalized fingerprint — canonical operator
+// shapes, the SKYLINE OF clause with dimension order normalized exactly
+// when the plan is order-invariant, pushed-down filter conjuncts split
+// and sorted, and the identity of every table read. Ablations that are
+// bit-identical by contract (columnar kernel, vectorized expressions)
+// share one entry; anything the canonicalizer does not recognize is
+// simply not cached. A hit returns the stored rows — and the stored
+// columnar sidecar — bit-identical to a recompute, without scheduling a
+// single task.
+//
+// Staleness is impossible by construction rather than checked: every
+// table carries a monotonic version, entry keys embed the versions of
+// their dependencies read fresh at execution time, and CreateTable,
+// RegisterTable, DropTable, and AppendRows all advance it — so a query
+// over changed data simply computes a key no stale entry can have.
+// AppendRows goes further on maintainable plans (a complete unbounded
+// skyline over gathered, filtered scans): instead of invalidating, the
+// cache upgrades the entry in place, dominance-testing only the appended
+// rows against the cached skyline — the incremental-maintenance win that
+// makes append-heavy sessions keep their hits. NULL dimensions or any
+// other plan shape fall back to invalidation, and failed or canceled
+// queries never populate. Entries are byte-accounted in an LRU that
+// sheds sidecars before whole entries. CacheHits, CacheMisses,
+// CacheEvictions, and IncrementalUpgrades are Metrics counters (EXPLAIN,
+// the shell's \s, skybench -json; Session.ResultCacheStats snapshots the
+// cache itself); `skybench -experiment cache` measures hit-vs-recompute
+// latency, a zipfian repeat mix, and incremental upgrades vs
+// invalidate-and-recompute (BENCH_PR9.json, benchdiff-gated on the
+// hit/miss/upgrade counters).
 package skysql
 
 import (
