@@ -16,6 +16,9 @@
 // Usage:
 //
 //	benchdiff -baseline BENCH_PR4.json -fresh fresh.json [-tolerance 0.0]
+//
+// Full manual, including the gated-counter list and the record-identity
+// rules: docs/benchdiff.md.
 package main
 
 import (
@@ -67,6 +70,12 @@ var counters = []counter{
 	{"cache_hits", func(r bench.Record) int64 { return r.CacheHits }, false},
 	{"cache_misses", func(r bench.Record) int64 { return r.CacheMisses }, true},
 	{"incremental_upgrades", func(r bench.Record) int64 { return r.IncrementalUpgrades }, false},
+	// Serve-experiment counters: the request count of a sweep cell is fixed
+	// by its spec and the admission verdicts are deterministic per (spec,
+	// seed) — the expectation is exact equality; latency percentiles and
+	// achieved RPS are wall-clock and stay informational.
+	{"requests_issued", func(r bench.Record) int64 { return r.RequestsIssued }, true},
+	{"admission_rejected", func(r bench.Record) int64 { return r.AdmissionRejected }, true},
 }
 
 // identity is the matching key of a record: every field that names the
@@ -79,6 +88,11 @@ func identity(r bench.Record) string {
 	// predating fault injection keep their keys unchanged.
 	if r.FaultRate != 0 || r.RetryBudget != 0 {
 		s += fmt.Sprintf("|fault=%g|retries=%d", r.FaultRate, r.RetryBudget)
+	}
+	// Load-generator parameters likewise join only when set: a 2-client
+	// serve cell never compares against an 8-client one.
+	if r.Clients != 0 || r.TargetRPS != 0 {
+		s += fmt.Sprintf("|clients=%d|rps=%g", r.Clients, r.TargetRPS)
 	}
 	if r.Variant != "" {
 		s += "|" + r.Variant

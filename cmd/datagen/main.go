@@ -10,6 +10,8 @@
 //	datagen -dataset store_sales -rows 100000 -complete -out ss.csv
 //	datagen -dataset musicbrainz -rows 8000 -out mb   # writes mb_*.csv
 //	datagen -dataset synthetic -dist anti -rows 10000000 -segments -out segs/
+//
+// Full manual: docs/datagen.md.
 package main
 
 import (

@@ -9,6 +9,9 @@
 //	skybench -list
 //	skybench -experiment fig3
 //	skybench -experiment all -scale 0.25 -timeout 60s
+//
+// Full manual, including the post-paper subsystem experiments and the
+// BENCH_*.json trajectory they feed: docs/skybench.md.
 package main
 
 import (

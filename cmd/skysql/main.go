@@ -11,6 +11,9 @@
 // bool, given in CSV header order. Shell commands: \q quits, \t lists
 // tables, \e <sql> explains a query, \s <sql> executes it and prints the
 // per-stage makespan breakdown.
+//
+// Full manual: docs/skysql.md. For serving queries over HTTP instead of
+// a shell, see cmd/skysqld (docs/skysqld.md).
 package main
 
 import (

@@ -107,6 +107,12 @@ type Spec struct {
 	// MemoryBudget, when positive, enforces the per-query memory budget
 	// (cluster.Context.MemoryBudget), engaging the degradation ladder.
 	MemoryBudget int64
+	// Clients and TargetRPS describe a serve-experiment cell: the number
+	// of open-loop load clients and their aggregate request rate against
+	// one skysqld server. Both are identity-bearing in benchdiff (a
+	// 2-client cell never compares against an 8-client cell).
+	Clients   int
+	TargetRPS float64
 }
 
 // Measurement is the outcome of one run.
@@ -174,9 +180,21 @@ type Measurement struct {
 	CacheMisses         int64
 	CacheEvictions      int64
 	IncrementalUpgrades int64
-	ResultRows          int
-	TimedOut            bool
-	Err                 error
+	// Serve-experiment load metrics. RequestsIssued and the admission
+	// counters are deterministic per (seed, sweep shape) — benchdiff gates
+	// on rejections — while the latency percentiles and achieved
+	// throughput are wall-clock observations, informational only.
+	RequestsIssued    int64
+	AdmissionAdmitted int64
+	AdmissionQueued   int64
+	AdmissionRejected int64
+	LatencyP50MS      float64
+	LatencyP95MS      float64
+	LatencyP99MS      float64
+	AchievedRPS       float64
+	ResultRows        int
+	TimedOut          bool
+	Err               error
 }
 
 // Seconds returns the runtime in seconds (for chart-style output).

@@ -75,10 +75,10 @@ func TestIncompleteVariantUsesTwoAlgorithms(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 26 {
-		t.Errorf("experiments = %d, want 26 (figs 3–19 + ablation + kernel + exchange + vectorized + costgate + parallel + chaos + storage + cache)", len(exps))
+	if len(exps) != 27 {
+		t.Errorf("experiments = %d, want 27 (figs 3–19 + ablation + kernel + exchange + vectorized + costgate + parallel + chaos + storage + cache + serve)", len(exps))
 	}
-	for _, want := range []string{"fig3", "fig7", "fig10", "fig16", "fig19", "ablation", "kernel", "exchange", "vectorized", "costgate", "parallel", "chaos", "storage", "cache"} {
+	for _, want := range []string{"fig3", "fig7", "fig10", "fig16", "fig19", "ablation", "kernel", "exchange", "vectorized", "costgate", "parallel", "chaos", "storage", "cache", "serve"} {
 		if _, err := ExperimentByID(want); err != nil {
 			t.Errorf("missing experiment %s: %v", want, err)
 		}

@@ -126,16 +126,7 @@ func runCache(cfg Config, w io.Writer) error {
 	catMix.Register(tabMix)
 	engMix := core.NewEngine(catMix)
 	cacheMix := resultcache.New(0)
-	shapes := []string{
-		"SELECT * FROM t SKYLINE OF COMPLETE d1 MIN, d2 MIN, d3 MIN, d4 MIN",
-		"SELECT * FROM t WHERE d1 < 0.8 SKYLINE OF COMPLETE d1 MIN, d2 MIN, d3 MIN, d4 MIN",
-		"SELECT * FROM t WHERE d1 < 0.6 SKYLINE OF COMPLETE d1 MIN, d2 MIN, d3 MIN, d4 MIN",
-		"SELECT * FROM t WHERE d1 < 0.4 SKYLINE OF COMPLETE d1 MIN, d2 MIN, d3 MIN, d4 MIN",
-		"SELECT * FROM t SKYLINE OF COMPLETE d1 MIN, d2 MIN",
-		"SELECT * FROM t SKYLINE OF COMPLETE d2 MIN, d3 MIN, d4 MIN",
-		"SELECT * FROM t WHERE d2 < 0.5 SKYLINE OF COMPLETE d1 MIN, d2 MIN",
-		"SELECT * FROM t SKYLINE OF COMPLETE d3 MIN, d4 MIN",
-	}
+	shapes := mixShapes
 	cachedPlans := make([]*core.Compiled, len(shapes))
 	plainPlans := make([]*core.Compiled, len(shapes))
 	for i, q := range shapes {

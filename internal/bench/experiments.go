@@ -45,6 +45,7 @@ func Experiments() []Experiment {
 		{"chaos", "Fault-tolerant task runtime — deterministic fault injection over fault rate × retry budget", runChaos},
 		{"storage", "Out-of-core columnar segments — zone-map pruning and governed spill vs in-memory", runStorage},
 		{"cache", "Skyline result cache — hit vs recompute latency, zipfian repeat mix, incremental upgrades vs invalidation", runCache},
+		{"serve", "Concurrent serving — skysqld under open-loop load: latency percentiles, shared cache, admission 429s, global governor", runServe},
 	}
 }
 

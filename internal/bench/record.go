@@ -90,13 +90,32 @@ type Record struct {
 	// Pure functions of the seeded query sequence, so benchdiff gates on
 	// all three. CacheEvictions (budget-driven whole-entry evictions) is
 	// informational.
-	CacheHits           int64  `json:"cache_hits,omitempty"`
-	CacheMisses         int64  `json:"cache_misses,omitempty"`
-	CacheEvictions      int64  `json:"cache_evictions,omitempty"`
-	IncrementalUpgrades int64  `json:"incremental_upgrades,omitempty"`
-	ResultRows          int    `json:"result_rows"`
-	TimedOut            bool   `json:"timed_out"`
-	Error               string `json:"error,omitempty"`
+	CacheHits           int64 `json:"cache_hits,omitempty"`
+	CacheMisses         int64 `json:"cache_misses,omitempty"`
+	CacheEvictions      int64 `json:"cache_evictions,omitempty"`
+	IncrementalUpgrades int64 `json:"incremental_upgrades,omitempty"`
+	// Clients and TargetRPS identify a serve-experiment cell (the load
+	// generator's client count and aggregate request rate); both join a
+	// record's identity in benchdiff, like the chaos fields.
+	Clients   int     `json:"clients,omitempty"`
+	TargetRPS float64 `json:"target_rps,omitempty"`
+	// RequestsIssued counts requests the load generator sent; the
+	// admission counters split them into admitted / queued-then-admitted /
+	// rejected (HTTP 429). Requests and rejections are deterministic per
+	// sweep shape — benchdiff gates on both.
+	RequestsIssued    int64 `json:"requests_issued,omitempty"`
+	AdmissionAdmitted int64 `json:"admission_admitted,omitempty"`
+	AdmissionQueued   int64 `json:"admission_queued,omitempty"`
+	AdmissionRejected int64 `json:"admission_rejected,omitempty"`
+	// Latency percentiles and achieved throughput of the serve burst.
+	// Wall-clock observations: informational, never gated.
+	LatencyP50MS float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP95MS float64 `json:"latency_p95_ms,omitempty"`
+	LatencyP99MS float64 `json:"latency_p99_ms,omitempty"`
+	AchievedRPS  float64 `json:"achieved_rps,omitempty"`
+	ResultRows   int     `json:"result_rows"`
+	TimedOut     bool    `json:"timed_out"`
+	Error        string  `json:"error,omitempty"`
 }
 
 // NewRecord flattens a measurement into a record tagged with the
@@ -145,6 +164,16 @@ func NewRecord(experiment string, m Measurement) Record {
 		CacheMisses:         m.CacheMisses,
 		CacheEvictions:      m.CacheEvictions,
 		IncrementalUpgrades: m.IncrementalUpgrades,
+		Clients:             m.Spec.Clients,
+		TargetRPS:           m.Spec.TargetRPS,
+		RequestsIssued:      m.RequestsIssued,
+		AdmissionAdmitted:   m.AdmissionAdmitted,
+		AdmissionQueued:     m.AdmissionQueued,
+		AdmissionRejected:   m.AdmissionRejected,
+		LatencyP50MS:        m.LatencyP50MS,
+		LatencyP95MS:        m.LatencyP95MS,
+		LatencyP99MS:        m.LatencyP99MS,
+		AchievedRPS:         m.AchievedRPS,
 		ResultRows:          m.ResultRows,
 		TimedOut:            m.TimedOut,
 	}

@@ -25,11 +25,26 @@ var versionCounter atomic.Int64
 // segment-backed table holds no rows in memory: scans stream its segments
 // (pruning against zone maps first) and statistics come from the
 // persisted footers.
+//
+// Concurrency: Append and the Snapshot/SnapshotVersion readers are safe to
+// interleave — the serving tier issues queries and appends against one
+// table from many goroutines. Append never rewrites rows a previously
+// taken snapshot can see (it extends the slice and swaps the header under
+// the write lock), so a snapshot is immutable for as long as the caller
+// holds it. Direct access to the Rows field remains for single-goroutine
+// setup code (construction, loading, tests); execution paths go through
+// Snapshot.
 type Table struct {
 	Name     string
 	Schema   *types.Schema
 	Rows     []types.Row
 	Segments *storage.Store
+
+	// mu guards Rows against concurrent Append. The version bump happens
+	// inside the same critical section, so (rows, version) pairs read under
+	// the lock are always consistent — the invariant the result cache's
+	// store-time revalidation relies on.
+	mu sync.RWMutex
 
 	// version is the table's identity-over-time: bumped on creation, on
 	// (re-)registration, on drop, and on every row append. Consumers that
@@ -70,7 +85,10 @@ func (t *Table) bump() { t.version.Store(versionCounter.Add(1)) }
 
 // Append adds rows to an in-memory table, validating widths, and bumps the
 // table's version so version-keyed consumers see the change. Segment-backed
-// tables are immutable at this layer and refuse the append.
+// tables are immutable at this layer and refuse the append. Safe to call
+// concurrently with Snapshot readers: rows visible to an existing snapshot
+// are never rewritten, and the version moves inside the same critical
+// section as the row swap.
 func (t *Table) Append(rows ...types.Row) error {
 	if t.Segments != nil {
 		return fmt.Errorf("catalog: table %q is segment-backed; appends are not supported", t.Name)
@@ -81,9 +99,32 @@ func (t *Table) Append(rows ...types.Row) error {
 				i, t.Name, len(r), t.Schema.Len())
 		}
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Copy-on-grow append: extending within capacity only writes past the
+	// length any earlier snapshot carries, so concurrent readers of old
+	// snapshots never observe the new elements.
 	t.Rows = append(t.Rows, rows...)
 	t.bump()
 	return nil
+}
+
+// Snapshot returns the table's current in-memory rows as an immutable
+// slice: concurrent Appends extend past the returned length but never
+// rewrite the rows it covers. Nil for segment-backed tables.
+func (t *Table) Snapshot() []types.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.Rows
+}
+
+// SnapshotVersion returns the rows together with the version they belong
+// to, as one consistent pair — an Append concurrent with this call is
+// either entirely visible (its rows and its bump) or entirely not.
+func (t *Table) SnapshotVersion() ([]types.Row, int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.Rows, t.version.Load()
 }
 
 // RowCount is the table's total row count — len(Rows) for in-memory
@@ -92,6 +133,8 @@ func (t *Table) RowCount() int {
 	if t.Segments != nil {
 		return t.Segments.Rows()
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.Rows)
 }
 
@@ -166,7 +209,7 @@ func (t *Table) InferNullability() {
 	for i := range t.Schema.Fields {
 		t.Schema.Fields[i].Nullable = false
 	}
-	for _, r := range t.Rows {
+	for _, r := range t.Snapshot() {
 		for i, v := range r {
 			if v.IsNull() {
 				t.Schema.Fields[i].Nullable = true

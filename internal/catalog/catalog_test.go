@@ -2,8 +2,11 @@ package catalog
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"skysql/internal/storage"
 	"skysql/internal/types"
@@ -214,5 +217,110 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 	if back.Rows[1][2].AsInt() != 9 {
 		t.Error("values must survive the round trip")
+	}
+}
+
+// TestConcurrentAppendSnapshot hammers one table with appenders and
+// snapshot readers (run under -race): versions observed per reader are
+// monotonic, every (rows, version) pair is internally consistent (the row
+// count a version implies never shrinks when the version grows), and no
+// reader ever observes a torn row.
+func TestConcurrentAppendSnapshot(t *testing.T) {
+	tab, err := NewTable("h", hotelSchema(), []types.Row{
+		{types.Int(0), types.Float(1), types.Int(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		appenders = 4
+		perApp    = 200
+		readers   = 4
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, appenders+readers)
+
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perApp; i++ {
+				r := types.Row{types.Int(int64(a*perApp + i)), types.Float(float64(i)), types.Int(int64(a))}
+				if err := tab.Append(r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(a)
+	}
+
+	type obs struct {
+		rows    int
+		version int64
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last obs
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, v := tab.SnapshotVersion()
+				cur := obs{len(rows), v}
+				if cur.version < last.version {
+					errs <- fmt.Errorf("version went backwards: %d after %d", cur.version, last.version)
+					return
+				}
+				if cur.version == last.version && cur.rows != last.rows {
+					errs <- fmt.Errorf("same version %d with different row counts %d vs %d (torn pair)",
+						cur.version, last.rows, cur.rows)
+					return
+				}
+				if cur.rows < last.rows {
+					errs <- fmt.Errorf("row count shrank under append-only load: %d after %d", cur.rows, last.rows)
+					return
+				}
+				// Every visible row must be fully formed: the swap under the
+				// write lock never exposes a partially written row.
+				for i, row := range rows {
+					if len(row) != 3 {
+						errs <- fmt.Errorf("torn row %d: width %d", i, len(row))
+						return
+					}
+				}
+				last = cur
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Appenders finish on their own; readers spin until told to stop.
+	for {
+		select {
+		case err := <-errs:
+			close(stop)
+			t.Fatal(err)
+		default:
+		}
+		if tab.RowCount() == 1+appenders*perApp {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if got := len(tab.Snapshot()); got != 1+appenders*perApp {
+		t.Fatalf("final rows = %d, want %d", got, 1+appenders*perApp)
 	}
 }

@@ -77,7 +77,7 @@ func WriteCSV(w io.Writer, t *Table) error {
 		return err
 	}
 	rec := make([]string, t.Schema.Len())
-	for _, row := range t.Rows {
+	for _, row := range t.Snapshot() {
 		for i, v := range row {
 			if v.IsNull() {
 				rec[i] = ""

@@ -138,6 +138,10 @@ type Metrics struct {
 	cacheEvictions      atomic.Int64
 	incrementalUpgrades atomic.Int64
 
+	// governor, when attached, mirrors this query's live-byte movements
+	// into the shared cross-query pool (see governor.go).
+	governor atomic.Pointer[Governor]
+
 	mu         sync.Mutex
 	stageTimes []StageTime
 	adaptive   []AdaptiveDecision
@@ -626,11 +630,13 @@ func (m *Metrics) RowsShuffled() int64 {
 	return m.rowsShuffled.Load()
 }
 
-// Alloc charges n bytes of materialized data and updates the peak.
+// Alloc charges n bytes of materialized data and updates the peak. When a
+// global governor is attached the charge also lands in the shared pool.
 func (m *Metrics) Alloc(n int64) {
 	if m == nil {
 		return
 	}
+	m.governor.Load().add(n)
 	cur := m.curBytes.Add(n)
 	for {
 		peak := m.peakBytes.Load()
@@ -656,6 +662,11 @@ func (m *Metrics) Free(n int64) {
 			next = 0
 		}
 		if m.curBytes.CompareAndSwap(cur, next) {
+			// The shared pool is released by what was actually freed — the
+			// clamp above can shrink an unmatched Free, and forwarding the
+			// raw n would drift the global counter below the sum of its
+			// per-query parts.
+			m.governor.Load().add(next - cur)
 			return
 		}
 	}
@@ -782,6 +793,14 @@ type Context struct {
 	// exchange fan-out — before a hard excess fails the query with
 	// ErrMemoryBudget.
 	MemoryBudget int64
+
+	// Global, when non-nil, enrolls the query in a shared cross-query
+	// live-bytes pool: CheckBudget walks the degradation ladder against the
+	// pool's budget as well as the query's own, so concurrent queries
+	// degrade together under collective pressure instead of any one of
+	// them failing alone. The session attaches the query's Metrics to the
+	// governor for the run (Metrics.AttachGovernor / DetachGovernor).
+	Global *Governor
 
 	// SpillDir, when non-empty, arms the memory governor's spill tier:
 	// once the budget pressure crosses the spill threshold, exchange

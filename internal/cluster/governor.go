@@ -1,0 +1,109 @@
+package cluster
+
+// This file is the serving tier's global memory governor: one shared
+// live-bytes pool stretched across every query in flight, extending the
+// per-query MemoryBudget ladder (retry.go) to a process-wide budget.
+//
+// The mechanism deliberately reuses the per-query degradation machinery
+// rather than inventing a second one. Every query's Metrics already
+// meters its materialized bytes through Alloc/Free; a Governor is just a
+// second accumulator those same calls feed. CheckBudget then walks the
+// identical spill → drop-sidecars → collapse-fanout ladder twice — once
+// against the query's own budget and live bytes, once against the global
+// pool — and both walks escalate the query's own degradeLevel. Global
+// pressure therefore degrades the queries that observe it (each at its
+// next cooperative checkpoint) instead of killing a victim outright, and
+// a query that keeps allocating after every rung is taken fails with the
+// same ErrMemoryBudget its solo twin would see.
+
+import "sync/atomic"
+
+// Governor is a process-global live-bytes pool shared by the concurrent
+// queries of a session or server. Safe for concurrent use; a nil Governor
+// is a valid no-op receiver everywhere.
+type Governor struct {
+	budget      int64 // immutable after construction; <= 0 disables enforcement
+	live        atomic.Int64
+	queries     atomic.Int64
+	escalations atomic.Int64
+}
+
+// NewGovernor creates a governor enforcing the given global budget in
+// bytes. A non-positive budget yields a metering-only governor: live
+// bytes and query counts are tracked (for /stats) but nothing degrades.
+func NewGovernor(budget int64) *Governor {
+	return &Governor{budget: budget}
+}
+
+// Budget returns the global budget in bytes (<= 0 when metering-only).
+func (g *Governor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}
+
+// LiveBytes returns the bytes currently materialized across every
+// attached query. Never negative: each query's contribution is clamped by
+// its own Metrics.Free clamp and withdrawn exactly on detach.
+func (g *Governor) LiveBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.live.Load()
+}
+
+// InFlight returns the number of queries currently attached.
+func (g *Governor) InFlight() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.queries.Load()
+}
+
+// Escalations returns the number of degradation steps taken because of
+// global (as opposed to per-query) pressure, across all queries since the
+// governor was created.
+func (g *Governor) Escalations() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.escalations.Load()
+}
+
+// add charges (or, negative, releases) n bytes of one query's
+// materialized data to the pool.
+func (g *Governor) add(n int64) {
+	if g != nil && n != 0 {
+		g.live.Add(n)
+	}
+}
+
+// AttachGovernor subscribes this query's byte metering to the shared
+// pool: every subsequent Alloc/Free flows through, and any bytes already
+// live are transferred in so attach order cannot hide them. One governor
+// per Metrics at a time; called by the session at query start.
+func (m *Metrics) AttachGovernor(g *Governor) {
+	if m == nil || g == nil {
+		return
+	}
+	m.governor.Store(g)
+	g.queries.Add(1)
+	g.add(m.curBytes.Load())
+}
+
+// DetachGovernor unsubscribes the query, withdrawing whatever it still
+// holds live from the pool (a failed query can detach with residual
+// bytes; leaking them would ratchet the pool toward permanent
+// degradation). Called by the session when the query finishes.
+func (m *Metrics) DetachGovernor() {
+	if m == nil {
+		return
+	}
+	g := m.governor.Swap(nil)
+	if g == nil {
+		return
+	}
+	g.add(-m.curBytes.Load())
+	g.queries.Add(-1)
+}

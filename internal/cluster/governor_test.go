@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestGovernorMetering checks the accumulator plumbing: attach transfers
+// bytes already live, Alloc/Free flow through, detach withdraws the
+// residual so a failed query cannot ratchet the pool.
+func TestGovernorMetering(t *testing.T) {
+	g := NewGovernor(0)
+	ctx := NewContext(2)
+	ctx.Metrics.Alloc(300) // live before attach — must transfer in
+	ctx.Metrics.AttachGovernor(g)
+	if got := g.LiveBytes(); got != 300 {
+		t.Fatalf("LiveBytes after attach = %d, want the transferred 300", got)
+	}
+	if got := g.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1", got)
+	}
+	ctx.Metrics.Alloc(200)
+	ctx.Metrics.Free(100)
+	if got := g.LiveBytes(); got != 400 {
+		t.Fatalf("LiveBytes after alloc/free = %d, want 400", got)
+	}
+	ctx.Metrics.DetachGovernor()
+	if got, q := g.LiveBytes(), g.InFlight(); got != 0 || q != 0 {
+		t.Fatalf("after detach live=%d inflight=%d, want 0/0", got, q)
+	}
+	// Metering-only pool never degrades.
+	ctx2 := NewContext(2)
+	ctx2.Global = g
+	ctx2.Metrics.AttachGovernor(g)
+	ctx2.Metrics.Alloc(1 << 40)
+	if err := ctx2.CheckBudget(); err != nil || ctx2.SidecarsDropped() {
+		t.Errorf("metering-only governor degraded: err=%v dropped=%v", err, ctx2.SidecarsDropped())
+	}
+}
+
+// TestGovernorClampedFree pins the drift fix: a Free larger than the
+// query's live bytes is clamped by the per-query counter, and the pool
+// must move by the clamped amount, not the requested one — otherwise
+// every over-free would leak negative bytes into the shared pool.
+func TestGovernorClampedFree(t *testing.T) {
+	g := NewGovernor(0)
+	ctx := NewContext(2)
+	ctx.Metrics.AttachGovernor(g)
+	ctx.Metrics.Alloc(100)
+	ctx.Metrics.Free(250) // clamps to -100 at the query
+	if got := ctx.Metrics.LiveBytes(); got != 0 {
+		t.Fatalf("query LiveBytes = %d, want clamped 0", got)
+	}
+	if got := g.LiveBytes(); got != 0 {
+		t.Fatalf("pool LiveBytes = %d, want 0 (clamped free must forward the actual amount)", got)
+	}
+}
+
+// TestGovernorGlobalLadder walks the shared ladder: global pressure
+// escalates the observing query's own degrade level, tags the step
+// "[global]", counts it on the governor, and only an excess with every
+// rung taken fails with ErrMemoryBudget naming the global scope.
+func TestGovernorGlobalLadder(t *testing.T) {
+	g := NewGovernor(1000)
+	ctx := NewContext(4)
+	ctx.Global = g
+	ctx.Metrics.AttachGovernor(g)
+	defer ctx.Metrics.DetachGovernor()
+
+	if err := ctx.CheckBudget(); err != nil || ctx.SidecarsDropped() {
+		t.Fatalf("governor acted with no pressure: err=%v dropped=%v", err, ctx.SidecarsDropped())
+	}
+	ctx.Metrics.Alloc(700) // 70% of the global budget
+	if err := ctx.CheckBudget(); err != nil {
+		t.Fatalf("soft threshold failed the query: %v", err)
+	}
+	if !ctx.SidecarsDropped() {
+		t.Fatal("70% global live: sidecars not dropped")
+	}
+	if got := g.Escalations(); got != 1 {
+		t.Errorf("Escalations = %d, want 1", got)
+	}
+	steps := ctx.Metrics.Degradations()
+	if len(steps) != 1 || !strings.Contains(steps[0], "[global]") {
+		t.Errorf("degradation log = %v, want one step tagged [global]", steps)
+	}
+	ctx.Metrics.Alloc(200) // 90% > 80%: collapse fan-out
+	if err := ctx.CheckBudget(); err != nil {
+		t.Fatalf("second soft threshold failed the query: %v", err)
+	}
+	if !ctx.fanoutCollapsed() {
+		t.Fatal("90% global live: fan-out not collapsed")
+	}
+	ctx.Metrics.Alloc(200) // 110%: over budget, fully degraded
+	err := ctx.CheckBudget()
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("over-budget fully-degraded check returned %v, want ErrMemoryBudget", err)
+	}
+	if !strings.Contains(err.Error(), "[global]") {
+		t.Errorf("global-budget failure %q does not name the global scope", err)
+	}
+	if got := g.Escalations(); got != 2 {
+		t.Errorf("Escalations = %d, want 2", got)
+	}
+}
+
+// TestGovernorSharedAcrossQueries checks two attached queries pool their
+// bytes: neither alone crosses a threshold, together they do, and each
+// query degrades itself at its next checkpoint.
+func TestGovernorSharedAcrossQueries(t *testing.T) {
+	g := NewGovernor(1000)
+	a, b := NewContext(2), NewContext(2)
+	a.Global, b.Global = g, g
+	a.Metrics.AttachGovernor(g)
+	b.Metrics.AttachGovernor(g)
+	a.Metrics.Alloc(400)
+	b.Metrics.Alloc(400) // pool at 80%; each query alone is at 40%
+	if err := a.CheckBudget(); err != nil {
+		t.Fatalf("query A checkpoint: %v", err)
+	}
+	if err := b.CheckBudget(); err != nil {
+		t.Fatalf("query B checkpoint: %v", err)
+	}
+	if !a.SidecarsDropped() || !b.SidecarsDropped() {
+		t.Errorf("global pressure at 80%%: dropped A=%v B=%v, want both (each query degrades itself)",
+			a.SidecarsDropped(), b.SidecarsDropped())
+	}
+	b.Metrics.DetachGovernor()
+	if got := g.LiveBytes(); got != 400 {
+		t.Errorf("LiveBytes after B detached = %d, want A's 400", got)
+	}
+	a.Metrics.DetachGovernor()
+}
+
+// TestGovernorNilSafe pins that a nil governor is a valid no-op receiver.
+func TestGovernorNilSafe(t *testing.T) {
+	var g *Governor
+	g.add(100)
+	if g.Budget() != 0 || g.LiveBytes() != 0 || g.InFlight() != 0 || g.Escalations() != 0 {
+		t.Error("nil governor returned non-zero stats")
+	}
+	ctx := NewContext(2)
+	ctx.Metrics.AttachGovernor(nil) // must not panic or count
+	ctx.Metrics.Alloc(100)
+	ctx.Metrics.DetachGovernor()
+}

@@ -206,15 +206,41 @@ func (c *Context) fanoutCollapsed() bool {
 // recorded in the metrics (Metrics.DegradationSteps). Called at every
 // cooperative checkpoint — round scheduling, exchanges, injected
 // allocation spikes — so workers observe the budget with bounded latency.
-// No-op when MemoryBudget <= 0.
+// No-op when MemoryBudget <= 0 and no enforcing global governor is
+// attached.
+//
+// With a global governor (Context.Global) the same ladder is walked a
+// second time against the shared pool's live bytes and budget. Both walks
+// escalate this query's own degradeLevel: global pressure degrades the
+// queries that observe it — each at its next cooperative checkpoint —
+// rather than electing a victim. Steps taken for the global scope are
+// tagged "[global]" in the recorded step list and counted on the
+// governor.
 func (c *Context) CheckBudget() error {
-	if c.MemoryBudget <= 0 {
-		return nil
+	if c.MemoryBudget > 0 {
+		if err := c.climbLadder(c.Metrics.LiveBytes(), c.MemoryBudget, "", nil); err != nil {
+			return err
+		}
 	}
-	live := c.Metrics.LiveBytes()
-	if c.degradeLevel.Load() >= degradeCollapseFans && live > c.MemoryBudget {
-		return fmt.Errorf("%w: %d bytes live, budget %d (sidecars dropped, fan-out collapsed)",
-			ErrMemoryBudget, live, c.MemoryBudget)
+	if g := c.Global; g != nil && g.Budget() > 0 {
+		if err := c.climbLadder(g.LiveBytes(), g.Budget(), " [global]", g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// climbLadder runs one scope's degradation walk: compare live bytes
+// against the soft thresholds of the given budget, escalate the query's
+// degradeLevel one rung at a time (CAS — concurrent checkpoints escalate
+// at most once per rung), and fail with ErrMemoryBudget only when the
+// budget is exceeded with every rung already taken. scope annotates the
+// recorded step strings and the error ("" for the query's own budget);
+// g, when non-nil, counts the escalation as globally caused.
+func (c *Context) climbLadder(live, budget int64, scope string, g *Governor) error {
+	if c.degradeLevel.Load() >= degradeCollapseFans && live > budget {
+		return fmt.Errorf("%w: %d bytes live%s, budget %d (sidecars dropped, fan-out collapsed)",
+			ErrMemoryBudget, live, scope, budget)
 	}
 	for {
 		level := c.degradeLevel.Load()
@@ -232,17 +258,20 @@ func (c *Context) CheckBudget() error {
 		var step string
 		switch next {
 		case degradeSpill:
-			threshold, step = c.MemoryBudget*5/10, "spill-to-segments"
+			threshold, step = budget*5/10, "spill-to-segments"
 		case degradeDropSidecars:
-			threshold, step = c.MemoryBudget*6/10, "drop-sidecars"
+			threshold, step = budget*6/10, "drop-sidecars"
 		default: // degradeCollapseFans
-			threshold, step = c.MemoryBudget*8/10, "collapse-fanout"
+			threshold, step = budget*8/10, "collapse-fanout"
 		}
 		if live <= threshold {
 			return nil
 		}
 		if c.degradeLevel.CompareAndSwap(level, next) {
-			c.Metrics.AddDegradation(fmt.Sprintf("%s (live=%d, budget=%d)", step, live, c.MemoryBudget))
+			c.Metrics.AddDegradation(fmt.Sprintf("%s%s (live=%d, budget=%d)", step, scope, live, budget))
+			if g != nil {
+				g.escalations.Add(1)
+			}
 		}
 	}
 }

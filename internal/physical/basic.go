@@ -65,8 +65,12 @@ func (s *ScanExec) Sketch() *cost.Table {
 	}
 	s.sketchMu.Lock()
 	defer s.sketchMu.Unlock()
-	if v := s.Table.Version(); s.sketch == nil || s.sketchVersion != v {
-		s.sketch = cost.Sketch(s.Table.Rows, s.schema.Len())
+	// One consistent (rows, version) pair: sketching rows newer than the
+	// recorded version would let a concurrent append poison the cache with
+	// a stale key for fresh data.
+	rows, v := s.Table.SnapshotVersion()
+	if s.sketch == nil || s.sketchVersion != v {
+		s.sketch = cost.Sketch(rows, s.schema.Len())
 		s.sketchVersion = v
 	}
 	return s.sketch
@@ -76,7 +80,7 @@ func (s *ScanExec) Execute(ctx *cluster.Context) (*cluster.Dataset, error) {
 	if s.Table.Segments != nil {
 		return s.executeSegments(ctx)
 	}
-	in := cluster.NewDataset(s.Table.Rows)
+	in := cluster.NewDataset(s.Table.Snapshot())
 	out, err := ctx.Exchange(in, cluster.Unspecified, nil)
 	if err != nil {
 		return nil, err

@@ -176,6 +176,19 @@ func (c *Cache) store(ctx *cluster.Context, key, structural string, rows []types
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Store-time revalidation: the key was computed before the child
+	// executed, but under concurrent serving a dependency can move between
+	// keying and scanning (the scan snapshots rows at whatever version is
+	// current when it runs). If the versions moved, this result belongs to
+	// a NEWER key than the one it would be stored under — inserting it
+	// would let a later TableChanged double-apply the very append that
+	// moved the version. Skip the store; correctness never depended on it.
+	if entryKey(structural, deps) != key {
+		if ctx != nil && ctx.Metrics != nil {
+			ctx.Metrics.Free(rowBytes + batchBytes)
+		}
+		return
+	}
 	if el, ok := c.byKey[key]; ok {
 		// Same key, fresh result (e.g. a concurrent miss): replace in place.
 		e := el.Value.(*entry)

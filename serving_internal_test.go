@@ -1,0 +1,104 @@
+package skysql
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAdmissionQueueBound drives the admission controller directly: with
+// one execution slot and one queue slot, the first query is admitted, the
+// second parks, the third is rejected immediately, and releasing the slot
+// hands it to the parked waiter.
+func TestAdmissionQueueBound(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	parked := make(chan error, 1)
+	go func() { parked <- a.acquire(context.Background()) }()
+	// Wait until the second query is counted as a waiter so the third
+	// arrival deterministically finds the queue full.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.waiters.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second acquire never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := a.acquire(context.Background()); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("third acquire with full queue: err=%v, want ErrAdmission", err)
+	}
+
+	a.release()
+	if err := <-parked; err != nil {
+		t.Fatalf("parked acquire after release: %v", err)
+	}
+	a.release()
+
+	if got := a.admitted.Load(); got != 2 {
+		t.Errorf("admitted = %d, want 2", got)
+	}
+	if got := a.queued.Load(); got != 1 {
+		t.Errorf("queued = %d, want 1", got)
+	}
+	if got := a.rejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	if got := a.inFlight.Load(); got != 0 {
+		t.Errorf("inFlight after releases = %d, want 0", got)
+	}
+}
+
+// TestAdmissionNoQueueRejects pins the queue-or-429 default: queueDepth 0
+// rejects the moment the slots are saturated, without parking.
+func TestAdmissionNoQueueRejects(t *testing.T) {
+	a := newAdmission(1, 0)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	start := time.Now()
+	err := a.acquire(context.Background())
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("saturated acquire: err=%v, want ErrAdmission", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("rejection took %v, want immediate", d)
+	}
+	a.release()
+}
+
+// TestAdmissionContextExpiredWhileQueued checks that a queued query whose
+// context expires is rejected with ErrAdmission (and carries the context
+// cause), and gives its queue slot back.
+func TestAdmissionContextExpiredWhileQueued(t *testing.T) {
+	a := newAdmission(1, 2)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	parked := make(chan error, 1)
+	go func() { parked <- a.acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.waiters.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued acquire never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-parked
+	if !errors.Is(err, ErrAdmission) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired-while-queued err = %v, want ErrAdmission wrapping context.Canceled", err)
+	}
+	if got := a.waiters.Load(); got != 0 {
+		t.Errorf("waiters after expiry = %d, want 0 (queue slot must be returned)", got)
+	}
+	if got := a.rejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	a.release()
+}

@@ -44,6 +44,21 @@ type Session struct {
 	noSegPrune   bool
 	cache        *resultcache.Cache
 
+	// Serving-tier configuration (serving.go): admission bounds and the
+	// cross-query memory pool. Zero values mean the pre-serving behaviour.
+	maxConcurrent int
+	queueDepth    int
+	governed      bool
+	globalBudget  int64
+	admission     *admission
+	governor      *cluster.Governor
+
+	// appendMu serializes AppendRows' append + cache-maintenance pair, so
+	// concurrent appends offer their batches to the result cache in the
+	// same order the table received them — the order contract
+	// stream.Incremental's bit-identity rests on.
+	appendMu sync.Mutex
+
 	poolMu sync.Mutex
 	pool   *cluster.WorkerPool
 }
@@ -320,6 +335,12 @@ func NewSession(opts ...Option) *Session {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.maxConcurrent > 0 {
+		s.admission = newAdmission(s.maxConcurrent, s.queueDepth)
+	}
+	if s.governed {
+		s.governor = cluster.NewGovernor(s.globalBudget)
+	}
 	return s
 }
 
@@ -332,19 +353,25 @@ func (s *Session) workerPool() *cluster.WorkerPool {
 	s.poolMu.Lock()
 	defer s.poolMu.Unlock()
 	if s.pool == nil {
-		n := s.poolSize
-		if n <= 0 {
-			n = runtime.NumCPU()
-			if s.executors < n {
-				n = s.executors
-			}
-			if n < 1 {
-				n = 1
-			}
-		}
-		s.pool = cluster.NewWorkerPool(n)
+		s.pool = cluster.NewWorkerPool(s.poolSizeLocked())
 	}
 	return s.pool
+}
+
+// poolSizeLocked resolves the pool size under poolMu: the pinned
+// WithWorkerPool value, else min(runtime.NumCPU(), executors).
+func (s *Session) poolSizeLocked() int {
+	n := s.poolSize
+	if n <= 0 {
+		n = runtime.NumCPU()
+		if s.executors < n {
+			n = s.executors
+		}
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
 }
 
 // Close stops the session's worker pool. The session remains usable:
@@ -452,7 +479,13 @@ func (s *Session) LoadCSV(name, path string, kinds []Kind) error {
 // via stream.Incremental — while all other dependent entries are
 // invalidated. Segment-backed tables refuse appends (they are immutable
 // at this layer).
+// Safe for concurrent use: the append + cache-maintenance pair is
+// serialized per session, so two concurrent appends cannot offer their
+// batches to the cache in an order different from the one the table's
+// rows received them in.
 func (s *Session) AppendRows(name string, rows []Row) error {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
 	t, err := s.engine.Catalog.Lookup(name)
 	if err != nil {
 		return err
@@ -543,8 +576,26 @@ func (s *Session) run(c *core.Compiled) (*core.Result, error) {
 // runCtx executes a compiled query under a Go context: cancellation and
 // deadlines (the caller's, plus WithQueryTimeout) map onto the cluster
 // context's cooperative cancel, which workers observe between morsels.
+// Under WithMaxConcurrentQueries the query first claims an admission
+// slot (queueing or failing with ErrAdmission); under
+// WithGlobalMemoryBudget its byte metering is attached to the shared
+// governor pool for the duration of the run.
 func (s *Session) runCtx(goCtx context.Context, c *core.Compiled) (*core.Result, error) {
+	if s.admission != nil {
+		// The queue wait is bounded by the caller's context only — the
+		// WithQueryTimeout clock starts when execution does, so a queued
+		// query gets its full time slice once admitted.
+		if err := s.admission.acquire(goCtx); err != nil {
+			return nil, err
+		}
+		defer s.admission.release()
+	}
 	ctx := cluster.NewContext(s.executors)
+	if s.governor != nil {
+		ctx.Global = s.governor
+		ctx.Metrics.AttachGovernor(s.governor)
+		defer ctx.Metrics.DetachGovernor()
+	}
 	ctx.Simulate = s.simulate
 	ctx.AdaptiveExchange = !s.noAdaptive
 	ctx.TargetRowsPerPartition = s.adaptiveRows
@@ -591,7 +642,18 @@ func (s *Session) runCtx(goCtx context.Context, c *core.Compiled) (*core.Result,
 			}
 		}()
 	}
-	return s.engine.RunCtx(c, ctx)
+	res, err := s.engine.RunCtx(c, ctx)
+	if err == nil {
+		// Cancellation is cooperative: a round whose tasks were already
+		// running when the deadline fired can still drain to completion.
+		// Context semantics win over the wasted work — once the caller's
+		// deadline passed, the query fails with the recorded cause rather
+		// than returning rows the caller stopped waiting for.
+		if cerr := ctx.CheckCanceled(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, err
 }
 
 // FormatRows renders rows as an aligned text table for display.
